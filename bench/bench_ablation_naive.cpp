@@ -1,0 +1,290 @@
+// Ablation: the paper's Fig. 2 — media control WITHOUT the primitives.
+//
+// "It is standard behavior for a server receiving a signal that does not
+// concern itself to forward the signal untouched... because the servers are
+// not coordinated, they forward all media signals that they receive."
+//
+// This bench rebuilds the running example at the protocol level with
+// *naive* servers: the PBX and PC forward every tunnel signal blindly
+// between their slots, and express their feature intentions by injecting
+// the paper's raw signals (protocol-independent: "send media to X" =
+// describe(X's descriptor), "stop sending" = describe(noMedia)). The
+// endpoints A, B, C, V run the real goal machinery.
+//
+// The three pathologies of Fig. 2 then appear exactly where the paper puts
+// them, and the bench REPORTS THEM AS FAILURES on purpose — the same checks
+// that pass in bench_scenario_correctness (E7) with flowlink-based servers:
+//
+//   P1  snapshot 3: the PBX's "stop sending", forwarded untouched by PC,
+//       silences C toward V — one-way media;
+//   P2  snapshot 4: PC's reconnect signals, forwarded untouched by the
+//       PBX, switch A to C without A's (PBX's) permission;
+//   P3  snapshot 4: B is left transmitting to an endpoint that throws the
+//       packets away.
+#include <cstdio>
+#include <deque>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/goal.hpp"
+#include "endpoints/media_sync.hpp"
+
+namespace {
+
+using namespace cmc;
+
+// A synchronous protocol-level world: endpoints with real goals, naive
+// servers that forward blindly, and FIFO wires between slots. Media is
+// judged from the endpoints' descriptor/selector state (sendStateOf), which
+// is the paper's own definition of when media moves.
+class NaiveWorld {
+ public:
+  struct Endpoint {
+    SlotEndpoint slot;
+    EndpointGoal goal;
+    MediaAddress addr;
+  };
+
+  // Create an endpoint with its goal; wires attach later.
+  Endpoint& addEndpoint(const std::string& name, const std::string& ip,
+                        GoalKind kind) {
+    auto& endpoint = endpoints_[name];
+    endpoint.addr = MediaAddress::parse(ip, 5000);
+    endpoint.slot = SlotEndpoint{SlotId{next_slot_++}, /*initiator=*/false};
+    MediaIntent intent =
+        MediaIntent::endpoint(endpoint.addr, {Codec::g711u, Codec::g726});
+    if (kind == GoalKind::openSlot) {
+      endpoint.goal = OpenSlotGoal{Medium::audio, intent,
+                                   DescriptorFactory{next_slot_ * 101}};
+    } else {
+      endpoint.goal = HoldSlotGoal{intent, DescriptorFactory{next_slot_ * 101}};
+    }
+    return endpoint;
+  }
+
+  // A naive server slot: whatever arrives here is re-emitted, untouched, on
+  // `forward_to` (another server slot's wire or an endpoint wire).
+  SlotId addServerSlot() { return SlotId{next_slot_++}; }
+
+  // Wire: signals sent "from" a slot appear at its peer.
+  void wire(SlotId a, SlotId b) {
+    peer_[a] = b;
+    peer_[b] = a;
+  }
+  void forwardPair(SlotId a, SlotId b) {  // naive server: a <-> b
+    forward_[a] = b;
+    forward_[b] = a;
+  }
+
+  void attach(const std::string& name) {
+    Endpoint& e = endpoints_[name];
+    Outbox out;
+    cmc::attach(e.goal, e.slot, out);
+    emit(e.slot.id(), std::move(out));
+  }
+
+  // Inject a raw server-originated signal traveling out of server slot `s`.
+  void inject(SlotId from, Signal signal) {
+    queue_.push_back({peer_.at(from), std::move(signal)});
+  }
+
+  // Pump until quiescent.
+  void run() {
+    int guard = 0;
+    while (!queue_.empty() && ++guard < 10000) {
+      auto item = std::move(queue_.front());
+      queue_.pop_front();
+      const SlotId slot = item.first;
+      const Signal& signal = item.second;
+      // Endpoint slot?
+      bool handled = false;
+      for (auto& [name, e] : endpoints_) {
+        if (e.slot.id() != slot) continue;
+        const DeliverResult r = e.slot.deliver(signal);
+        Outbox out;
+        if (r.autoReply) out.send(slot, *r.autoReply);
+        onEvent(e.goal, e.slot, r.event, out);
+        emit(slot, std::move(out));
+        handled = true;
+        break;
+      }
+      if (handled) continue;
+      // Server slot: cache descriptors passing through, forward untouched.
+      if (const Descriptor* d = descriptorOf(signal)) cache_[slot] = *d;
+      auto fwd = forward_.find(slot);
+      if (fwd != forward_.end()) {
+        queue_.push_back({peer_.at(fwd->second), signal});
+      }
+    }
+  }
+
+  [[nodiscard]] const Descriptor* cached(SlotId slot) const {
+    auto it = cache_.find(slot);
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Endpoint& endpoint(const std::string& name) {
+    return endpoints_.at(name);
+  }
+
+  // Where is this endpoint currently sending media (per its own
+  // descriptor/selector state)?
+  [[nodiscard]] std::optional<MediaAddress> sendsTo(const std::string& name) {
+    auto state = sendStateOf(endpoints_.at(name).slot);
+    if (!state || isNoMedia(state->codec)) return std::nullopt;
+    return state->target;
+  }
+
+  [[nodiscard]] Descriptor freshNoMedia() {
+    return makeDescriptor(DescriptorId{999900 + next_slot_++}, MediaAddress{}, {},
+                          true);
+  }
+
+ private:
+  void emit(SlotId from, Outbox&& out) {
+    for (auto& item : out.take()) {
+      queue_.push_back({peer_.at(item.slot), std::move(item.signal)});
+    }
+    (void)from;
+  }
+
+  std::map<std::string, Endpoint> endpoints_;
+  std::map<SlotId, SlotId> peer_;     // wire connectivity
+  std::map<SlotId, SlotId> forward_;  // naive-server pairing
+  std::map<SlotId, Descriptor> cache_;
+  std::deque<std::pair<SlotId, Signal>> queue_;
+  std::uint64_t next_slot_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ABLATION: uncoordinated servers — the paper's Fig. 2 reproduced",
+      "without the primitives, blind forwarding yields one-way media, "
+      "hijacked endpoints, and wasted streams");
+  bench::note(
+      "each FAIL below is an expected, reproduced Fig. 2 pathology; the "
+      "identical checks PASS in bench_scenario_correctness (E7)");
+  std::printf("\n");
+
+  NaiveWorld world;
+  // Endpoints: A, B, C phones; V voice resource. A and C originate (open),
+  // B and V answer (hold).
+  world.addEndpoint("A", "10.0.0.1", GoalKind::openSlot);
+  world.addEndpoint("B", "10.0.0.2", GoalKind::holdSlot);
+  world.addEndpoint("C", "10.0.0.3", GoalKind::openSlot);
+  world.addEndpoint("V", "10.0.0.9", GoalKind::holdSlot);
+
+  // Naive PBX with slots toward A, B, PC; naive PC with slots toward PBX,
+  // C, V.
+  const SlotId pbx_a = world.addServerSlot();
+  const SlotId pbx_b = world.addServerSlot();
+  const SlotId pbx_pc = world.addServerSlot();
+  const SlotId pc_pbx = world.addServerSlot();
+  const SlotId pc_c = world.addServerSlot();
+  const SlotId pc_v = world.addServerSlot();
+  world.wire(world.endpoint("A").slot.id(), pbx_a);
+  world.wire(world.endpoint("B").slot.id(), pbx_b);
+  world.wire(pbx_pc, pc_pbx);
+  world.wire(world.endpoint("C").slot.id(), pc_c);
+  world.wire(world.endpoint("V").slot.id(), pc_v);
+
+  const auto a_addr = world.endpoint("A").addr;
+  const auto c_addr = world.endpoint("C").addr;
+  const auto v_addr = world.endpoint("V").addr;
+  auto sends = [&world](const char* who, const MediaAddress& to) {
+    return world.sendsTo(who) == std::optional<MediaAddress>(to);
+  };
+
+  // --- history: A talks to B through the PBX ------------------------------
+  world.forwardPair(pbx_a, pbx_b);
+  world.attach("A");
+  world.attach("B");
+  world.run();
+
+  // --- C dials the prepaid service; PC answers to prompt for the card ----
+  world.forwardPair(pc_c, pc_pbx);
+  world.attach("C");
+  world.run();  // C's open is cached along the way
+  world.inject(pc_c, OackSignal{world.freshNoMedia()});  // PC's card prompt
+  world.run();
+
+  // --- Fig. 2 snapshot 1: A switches to the incoming call ----------------
+  // The PBX re-points A at its PC side and re-describes both parties from
+  // its caches. Nobody tells B anything (no coordination!).
+  world.forwardPair(pbx_a, pbx_pc);
+  world.inject(pbx_a, DescribeSignal{*world.cached(pbx_pc)});  // "A: send to C"
+  world.inject(pbx_pc, DescribeSignal{*world.cached(pbx_a)});  // "C: send to A"
+  world.run();
+
+  if (sends("A", c_addr) && sends("C", a_addr)) {
+    bench::note("snapshot 1: A <-> C established (as in Fig. 2)");
+  }
+  const bool b_wasting_early = sends("B", a_addr);
+  if (b_wasting_early) {
+    bench::note("snapshot 1: B was never told to stop — already streaming at "
+                "a deaf endpoint");
+  }
+
+  // --- Fig. 2 snapshot 2: funds exhausted --------------------------------
+  // PC sends three signals: "A: stop", "V: send to C", "C: send to V".
+  world.attach("V");
+  world.inject(pc_pbx, DescribeSignal{world.freshNoMedia()});  // toward A
+  world.forwardPair(pc_c, pc_v);
+  world.inject(pc_v, OpenSignal{Medium::audio, *world.cached(pc_c)});
+  world.run();
+  world.inject(pc_c, DescribeSignal{*world.cached(pc_v)});  // "C: send to V"
+  world.run();
+  if (sends("C", v_addr) && sends("V", c_addr)) {
+    bench::note("snapshot 2: C <-> V established for fund collection");
+  }
+
+  // --- Fig. 2 snapshot 3: the PBX switches A back to B -------------------
+  // Its three signals: "A: send to B", "B: send to A", and toward its PC
+  // side "stop sending" — which PC forwards untouched to C.
+  world.forwardPair(pbx_a, pbx_b);
+  world.inject(pbx_a, DescribeSignal{*world.cached(pbx_b)});
+  world.inject(pbx_b, DescribeSignal{*world.cached(pbx_a)});
+  world.inject(pbx_pc, DescribeSignal{world.freshNoMedia()});
+  world.run();
+
+  const bool c_still_feeds_v = sends("C", v_addr);
+  const bool v_still_feeds_c = sends("V", c_addr);
+  bench::verdict(c_still_feeds_v,
+                 "P1: C still sends to V after the PBX switch");
+  if (!c_still_feeds_v && v_still_feeds_c) {
+    bench::note("  -> Fig. 2 snapshot 3 reproduced: the forwarded 'stop "
+                "sending' cut C's audio; media C <-> V is now ONE-WAY");
+  }
+
+  // --- Fig. 2 snapshot 4: V verified the funds; PC reconnects C and A ----
+  // PC's signals pass through the PBX untouched (its stale forwarding entry
+  // still points at A — blind is blind).
+  world.forwardPair(pc_c, pc_pbx);
+  world.inject(pc_pbx, DescribeSignal{*world.cached(pc_c)});  // -> A, blindly
+  world.inject(pc_c, DescribeSignal{*world.cached(pc_pbx)});  // "C: send to A"
+  world.inject(pc_v, DescribeSignal{world.freshNoMedia()});   // "V: stop"
+  world.run();
+
+  const bool a_hijacked = sends("A", c_addr);
+  bench::verdict(!a_hijacked,
+                 "P2: A still sends to B (the PBX's choice is respected)");
+  if (a_hijacked) {
+    bench::note("  -> Fig. 2 snapshot 4 reproduced: PC's forwarded signals "
+                "switched A to C WITHOUT A's (PBX's) permission");
+  }
+
+  const bool b_wasting = sends("B", a_addr);
+  bench::verdict(!b_wasting, "P3: B is not streaming at a deaf endpoint");
+  if (b_wasting && a_hijacked) {
+    bench::note("  -> Fig. 2 snapshot 4 reproduced: B keeps transmitting to "
+                "A, which now talks to C and throws B's packets away");
+  }
+
+  std::printf("\n");
+  bench::note("conclusion: the pathologies are not hypothetical — they fall "
+              "straight out of standard forward-untouched server behavior; "
+              "the four primitives exist to prevent exactly this");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment EXT2 (paper Section IX-B, third difference): media bundling.
+//
+// "Each SIP signal for controlling media refers to all media channels of
+// the path simultaneously... Because of media bundling, a transaction to
+// control a video channel contends with a transaction to control an audio
+// channel on the same signaling path. If the channels were controlled by
+// signals in separate tunnels, as in our protocol, this contention could
+// not occur."
+//
+// Both sides of one audio+video session modify *different* media at the
+// same instant:
+//   * SIP: one dialog, one bundled SDP -> the two re-INVITEs glare; both
+//     fail and pay the randomized backoff d;
+//   * this protocol: two tunnels -> the describes cross without touching.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "endpoints/av_device.hpp"
+#include "sim/simulator.hpp"
+#include "sip/agent.hpp"
+
+namespace {
+
+using namespace cmc;
+using namespace cmc::literals;
+
+// Ours: concurrent audio/video modifies on separate tunnels.
+double oursMs() {
+  Simulator sim(TimingModel::paperDefaults(), 41);
+  auto& a = sim.addBox<AvDeviceBox>(
+      "A", sim.mediaNetwork(), sim.loop(), MediaAddress::parse("10.4.0.1", 5000),
+      std::vector<AvDeviceBox::StreamSpec>{
+          {Medium::audio, {Codec::g711u}}, {Medium::video, {Codec::h263}}});
+  auto& b = sim.addBox<AvDeviceBox>(
+      "B", sim.mediaNetwork(), sim.loop(), MediaAddress::parse("10.4.0.2", 5000),
+      std::vector<AvDeviceBox::StreamSpec>{
+          {Medium::audio, {Codec::g711u}}, {Medium::video, {Codec::h263}}});
+  const ChannelId ch = sim.connect("A", "B", 2);
+  sim.inject("A", [](Box& bx) {
+    static_cast<AvDeviceBox&>(bx).openStream(0);
+    static_cast<AvDeviceBox&>(bx).openStream(1);
+  });
+  sim.runFor(3_s);
+
+  const SimTime start = sim.now();
+  sim.inject("A", [ch](Box& bx) {
+    bx.setSlotMute(bx.slotsOf(ch)[0], false, true);  // A: audio change
+  });
+  sim.inject("B", [ch](Box& bx) {
+    bx.setSlotMute(bx.slotsOf(ch)[1], false, true);  // B: video change
+  });
+  // Completion: both modifies acknowledged end to end (the peers received
+  // the new selectors).
+  for (int ms = 0; ms < 5000; ++ms) {
+    sim.runFor(1_ms);
+    const auto& audio_a = a.slot(a.slotsOf(ch)[0]);
+    const auto& video_b = b.slot(b.slotsOf(ch)[1]);
+    const bool audio_done = audio_a.lastSelectorReceived() &&
+                            audio_a.lastSelectorReceived()->answersDescriptor ==
+                                audio_a.lastDescriptorSent();
+    const bool video_done = video_b.lastSelectorReceived() &&
+                            video_b.lastSelectorReceived()->answersDescriptor ==
+                                video_b.lastDescriptorSent();
+    // The describes changed nothing structural; treat one full round trip
+    // of describe+select on each tunnel as completion.
+    if (audio_done && video_done && (sim.now() - start) > 100_ms) {
+      return (sim.now() - start).count() / 1000.0;
+    }
+  }
+  return -1;
+}
+
+// SIP: the same two concurrent changes on one bundled dialog.
+double sipMs(std::uint64_t seed) {
+  EventLoop loop;
+  sip::SipNetwork net(loop, TimingModel::paperDefaults(), seed);
+  sip::SipUa a("A", net, MediaAddress::parse("10.4.0.1", 5000),
+               {Codec::g711u, Codec::h263});
+  sip::SipUa b("B", net, MediaAddress::parse("10.4.0.2", 5000),
+               {Codec::g711u, Codec::h263});
+  const auto dialog = net.createDialog("A", "B");
+  // Established session first.
+  a.reinvite(dialog);
+  loop.runUntilIdle();
+  const double established = a.mediaReadyAt() ? a.mediaReadyAt()->millis() : 0;
+
+  // Both sides re-INVITE at the same moment (audio change at A, video
+  // change at B — but SIP has ONE bundled body, so they collide).
+  a.reinvite(dialog);
+  b.reinvite(dialog);
+  loop.runUntilIdle();
+  const double a_done = a.mediaReadyAt()->millis();
+  const double b_done = b.mediaReadyAt()->millis();
+  return std::max(a_done, b_done) - established;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "EXT2: media bundling contention (Section IX-B)",
+      "concurrent audio/video changes cannot contend on separate tunnels; "
+      "in SIP the bundled re-INVITEs glare and pay the ~3 s backoff");
+
+  const double ours = oursMs();
+  double sip_sum = 0;
+  int sip_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const double ms = sipMs(seed);
+    if (ms > 0) {
+      sip_sum += ms;
+      ++sip_runs;
+    }
+  }
+  const double sip_mean = sip_runs ? sip_sum / sip_runs : -1;
+
+  bench::row("tunnels: concurrent audio+video modify", 2 * 34 + 2 * 20, ours,
+             "ms");
+  bench::row("SIP bundled: concurrent modifies (glare, mean of 10)",
+             3 * 34 + 4 * 20 + 3000, sip_mean, "ms");
+  bench::note("the tunnel design removes a whole class of glare: changes to "
+              "different media never meet in one transaction");
+  bench::verdict(ours > 0 && sip_mean > 5 * ours,
+                 "separate tunnels beat bundling by well over 5x under "
+                 "concurrent modification");
+  return 0;
+}

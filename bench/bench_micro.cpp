@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks —
+// signal serialization, slot FSM steps, flowlink event handling, whole-path
+// convergence, state canonicalization/fingerprinting, and explorer speed.
+// These are engineering numbers (no paper counterpart): they bound how many
+// media-control operations a single application server built on this
+// library could sustain.
+#include <benchmark/benchmark.h>
+
+#include "core/path.hpp"
+#include "mc/state_graph.hpp"
+
+namespace cmc {
+namespace {
+
+Descriptor benchDescriptor(std::uint64_t id) {
+  const Codec codecs[] = {Codec::g711u, Codec::g726};
+  return makeDescriptor(DescriptorId{id}, MediaAddress::parse("10.0.0.1", 5000),
+                        codecs, false);
+}
+
+void BM_SignalSerializeOpen(benchmark::State& state) {
+  const Signal signal = OpenSignal{Medium::audio, benchDescriptor(1)};
+  for (auto _ : state) {
+    ByteWriter w;
+    serialize(signal, w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_SignalSerializeOpen);
+
+void BM_SignalRoundTripOpen(benchmark::State& state) {
+  const Signal signal = OpenSignal{Medium::audio, benchDescriptor(1)};
+  ByteWriter w;
+  serialize(signal, w);
+  for (auto _ : state) {
+    ByteReader r{w.bytes()};
+    auto out = deserializeSignal(r);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SignalRoundTripOpen);
+
+void BM_SlotFsmOpenAcceptClose(benchmark::State& state) {
+  for (auto _ : state) {
+    SlotEndpoint slot{SlotId{1}, true};
+    benchmark::DoNotOptimize(slot.sendOpen(Medium::audio, benchDescriptor(1)));
+    benchmark::DoNotOptimize(slot.deliver(OackSignal{benchDescriptor(2)}));
+    benchmark::DoNotOptimize(slot.sendClose());
+    benchmark::DoNotOptimize(slot.deliver(CloseAckSignal{}));
+  }
+}
+BENCHMARK(BM_SlotFsmOpenAcceptClose);
+
+void BM_PathConvergence(benchmark::State& state) {
+  const auto flowlinks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
+                    PathSystem::makeGoal(GoalKind::openSlot, PathEnd::right),
+                    flowlinks);
+    benchmark::DoNotOptimize(path.run());
+    benchmark::DoNotOptimize(path.bothFlowing());
+  }
+  state.SetLabel("flowlinks=" + std::to_string(flowlinks));
+}
+BENCHMARK(BM_PathConvergence)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_PathMuteRoundTrip(benchmark::State& state) {
+  PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
+                  PathSystem::makeGoal(GoalKind::openSlot, PathEnd::right), 2);
+  path.run();
+  bool mute = true;
+  for (auto _ : state) {
+    path.setMute(PathEnd::left, mute, mute);
+    benchmark::DoNotOptimize(path.run());
+    mute = !mute;
+  }
+}
+BENCHMARK(BM_PathMuteRoundTrip);
+
+void BM_PathFingerprint(benchmark::State& state) {
+  PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
+                  PathSystem::makeGoal(GoalKind::openSlot, PathEnd::right), 1);
+  path.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.fingerprint());
+  }
+}
+BENCHMARK(BM_PathFingerprint);
+
+void BM_ExplorerStatesPerSecond(benchmark::State& state) {
+  ExploreLimits limits;
+  limits.chaos_budget = 1;
+  limits.modify_budget = 0;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto graph = explorePath(GoalKind::openSlot, GoalKind::holdSlot, 0, limits);
+    states += graph.states();
+    benchmark::DoNotOptimize(graph.transitions);
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerStatesPerSecond);
+
+void BM_DescriptorChoice(benchmark::State& state) {
+  const Descriptor d = benchDescriptor(1);
+  const Codec sendable[] = {Codec::g726, Codec::g711u};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chooseCodec(d, sendable, false));
+  }
+}
+BENCHMARK(BM_DescriptorChoice);
+
+}  // namespace
+}  // namespace cmc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Shared table-printing helpers for the experiment benches. Every bench
+// regenerates one evaluation claim of the paper and prints paper-vs-measured
+// rows; EXPERIMENTS.md records the outputs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace cmc::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::string& label, double paper, double measured,
+                const std::string& unit) {
+  std::printf("  %-44s paper=%10.1f %-4s  measured=%10.1f %-4s  ratio=%5.2f\n",
+              label.c_str(), paper, unit.c_str(), measured, unit.c_str(),
+              paper > 0 ? measured / paper : 0.0);
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "OK " : "FAIL", what.c_str());
+}
+
+}  // namespace cmc::bench

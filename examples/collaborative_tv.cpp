@@ -1,0 +1,122 @@
+// Collaborative television (paper Fig. 8): a family TV and a daughter's
+// laptop share one movie through collaboration boxes — five media streams
+// (TV video + audio, French audio for headphones, laptop video + audio)
+// all tied to one time pointer. A pause pauses everyone. Then the daughter
+// leaves the collaboration and fast-forwards her own view.
+//
+// Build & run:   ./build/examples/collaborative_tv
+#include <cstdio>
+
+#include "apps/collab_tv.hpp"
+#include "endpoints/av_device.hpp"
+#include "endpoints/movie_server.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace cmc;
+  using namespace cmc::literals;
+
+  Simulator sim(TimingModel::paperDefaults(), 31);
+  auto& tv = sim.addBox<AvDeviceBox>(
+      "TV", sim.mediaNetwork(), sim.loop(), MediaAddress::parse("10.3.0.1", 5000),
+      std::vector<AvDeviceBox::StreamSpec>{
+          {Medium::video, {Codec::mpeg2, Codec::h263}},
+          {Medium::audio, {Codec::g711u}}});
+  auto& phones = sim.addBox<AvDeviceBox>(
+      "phones", sim.mediaNetwork(), sim.loop(),
+      MediaAddress::parse("10.3.0.2", 5000),
+      std::vector<AvDeviceBox::StreamSpec>{{Medium::audio, {Codec::g726}}});
+  auto& laptop = sim.addBox<AvDeviceBox>(
+      "laptop", sim.mediaNetwork(), sim.loop(),
+      MediaAddress::parse("10.3.0.3", 5000),
+      std::vector<AvDeviceBox::StreamSpec>{
+          {Medium::video, {Codec::h263}},
+          {Medium::audio, {Codec::g711u, Codec::g726}}});
+  auto& server = sim.addBox<MovieServerBox>("movies", sim.mediaNetwork(),
+                                            sim.loop(),
+                                            MediaAddress::parse("10.3.0.100", 7000));
+  auto& collab_a = sim.addBox<CollabTvBox>("collabA", "movies");
+  auto& collab_c = sim.addBox<CollabTvBox>("collabC", "movies");
+
+  const ChannelId tv_ch = sim.connect("collabA", "TV", 2);
+  const ChannelId phones_ch = sim.connect("collabA", "phones", 1);
+  const ChannelId laptop_ch = sim.connect("collabC", "laptop", 2);
+  const ChannelId peer_ch = sim.connect("collabC", "collabA", 2);
+
+  std::printf("== the family room starts 'big-movie' with 5 streams ==\n");
+  sim.inject("collabA", [](Box& b) {
+    static_cast<CollabTvBox&>(b).startMovie("big-movie", 5);
+  });
+  sim.runFor(500_ms);
+  sim.inject("collabA", [&](Box& b) {
+    auto& collab = static_cast<CollabTvBox&>(b);
+    collab.routeStream(0, tv_ch, 0);      // video -> TV (MPEG-2)
+    collab.routeStream(1, tv_ch, 1);      // English audio -> TV
+    collab.routeStream(2, phones_ch, 0);  // French audio -> headphones
+    collab.routeStream(3, peer_ch, 0);    // video -> daughter's box (H.263)
+    collab.routeStream(4, peer_ch, 1);    // audio -> daughter's box
+  });
+  sim.runFor(500_ms);
+  sim.inject("collabC", [&](Box& b) {
+    auto& collab = static_cast<CollabTvBox&>(b);
+    collab.linkSlots(collab.slotsOf(peer_ch)[0], collab.slotsOf(laptop_ch)[0]);
+    collab.linkSlots(collab.slotsOf(peer_ch)[1], collab.slotsOf(laptop_ch)[1]);
+  });
+  sim.runFor(300_ms);
+  sim.inject("TV", [](Box& b) {
+    static_cast<AvDeviceBox&>(b).openStream(0);
+    static_cast<AvDeviceBox&>(b).openStream(1);
+  });
+  sim.inject("phones", [](Box& b) { static_cast<AvDeviceBox&>(b).openStream(0); });
+  sim.inject("laptop", [](Box& b) {
+    static_cast<AvDeviceBox&>(b).openStream(0);
+    static_cast<AvDeviceBox&>(b).openStream(1);
+  });
+  sim.runFor(3_s);
+  std::printf("  streams: TV video %zu pkts, TV audio %zu, French audio %zu, "
+              "laptop video %zu, laptop audio %zu\n",
+              static_cast<std::size_t>(tv.stream(0).packetsReceived()),
+              static_cast<std::size_t>(tv.stream(1).packetsReceived()),
+              static_cast<std::size_t>(phones.stream(0).packetsReceived()),
+              static_cast<std::size_t>(laptop.stream(0).packetsReceived()),
+              static_cast<std::size_t>(laptop.stream(1).packetsReceived()));
+  std::printf("  shared time pointer: %.1f s\n",
+              server.positionOf(collab_a.movieChannel()));
+
+  std::printf("\n== somebody pauses: every stream freezes together ==\n");
+  sim.inject("collabA", [](Box& b) { static_cast<CollabTvBox&>(b).pause(); });
+  sim.runFor(500_ms);
+  tv.stream(0).resetStats();
+  laptop.stream(0).resetStats();
+  sim.runFor(1_s);
+  std::printf("  during pause: TV video %zu pkts, laptop video %zu pkts, "
+              "pointer %.1f s\n",
+              static_cast<std::size_t>(tv.stream(0).packetsReceived()),
+              static_cast<std::size_t>(laptop.stream(0).packetsReceived()),
+              server.positionOf(collab_a.movieChannel()));
+  sim.inject("collabA", [](Box& b) { static_cast<CollabTvBox&>(b).play(); });
+  sim.runFor(1_s);
+
+  std::printf("\n== the daughter leaves and fast-forwards to the end ==\n");
+  sim.inject("collabC", [&](Box& b) {
+    static_cast<CollabTvBox&>(b).leaveAndSplit("collabA", "big-movie", 2, 5000.0);
+  });
+  sim.runFor(500_ms);
+  sim.inject("collabC", [&](Box& b) {
+    auto& collab = static_cast<CollabTvBox&>(b);
+    collab.routeStream(0, laptop_ch, 0);
+    collab.routeStream(1, laptop_ch, 1);
+  });
+  sim.runFor(2_s);
+  std::printf("  family pointer: %.1f s   daughter's pointer: %.1f s\n",
+              server.positionOf(collab_a.movieChannel()),
+              server.positionOf(collab_c.movieChannel()));
+  tv.stream(0).resetStats();
+  laptop.stream(0).resetStats();
+  sim.runFor(1_s);
+  std::printf("  both views streaming: TV %zu pkts, laptop %zu pkts\n",
+              static_cast<std::size_t>(tv.stream(0).packetsReceived()),
+              static_cast<std::size_t>(laptop.stream(0).packetsReceived()));
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// CallForwardingBox: a classic DFC-style feature box.
+//
+// The paper's motivation for compositionality comes from DFC (Section
+// II-B): features as independent modules in a signaling pipeline, so each
+// can stay simple and features chain freely. Call forwarding is the
+// canonical example: the box sits in front of a served user; incoming
+// calls are spliced through to the user, and if the user is unavailable
+// (or the feature is set to forward unconditionally) the call is re-routed
+// to the forward target instead — by relinking, not by touching the caller.
+//
+// Because control is a flowlink, the caller's media follows wherever the
+// call lands, across any number of chained forwarding boxes, with no
+// feature aware of the others.
+#pragma once
+
+#include "core/box.hpp"
+
+namespace cmc {
+
+class CallForwardingBox : public Box {
+ public:
+  enum class Mode { onUnavailable, always };
+
+  CallForwardingBox(BoxId id, std::string name, std::string served_user,
+                    std::string forward_target,
+                    Mode mode = Mode::onUnavailable)
+      : Box(id, std::move(name)),
+        served_user_(std::move(served_user)),
+        forward_target_(std::move(forward_target)),
+        mode_(mode) {
+    ids_ = DescriptorFactory{id.value()};
+  }
+
+  [[nodiscard]] bool forwarded() const noexcept { return forwarded_; }
+
+ protected:
+  void onIncomingChannel(ChannelId channel, const std::string&) override {
+    const auto slots = slotsOf(channel);
+    if (slots.empty() || in_slot_.valid()) return;  // one call at a time
+    in_slot_ = slots.front();
+    setGoal(in_slot_, HoldSlotGoal{MediaIntent::server(), ids_});
+    if (mode_ == Mode::always) {
+      forwarded_ = true;
+      requestChannel(forward_target_, 1, "out");
+    } else {
+      requestChannel(served_user_, 1, "out");
+    }
+  }
+
+  void onChannelUp(ChannelId channel, const std::string& tag) override {
+    if (tag != "out") return;
+    const auto slots = slotsOf(channel);
+    if (slots.empty()) return;
+    out_slot_ = slots.front();
+    if (in_slot_.valid()) linkSlots(in_slot_, out_slot_);
+  }
+
+  void onMeta(ChannelId channel, const MetaSignal& meta) override {
+    // The served user is unavailable: re-route the leg.
+    if (meta.kind != MetaKind::unavailable || forwarded_) return;
+    if (!out_slot_.valid() || channelOf(out_slot_) != channel) return;
+    forwarded_ = true;
+    // Clear the leg bookkeeping BEFORE the teardown so onChannelDown does
+    // not mistake this intentional re-route for a callee hangup.
+    out_slot_ = SlotId{};
+    destroyChannel(channel);
+    if (in_slot_.valid()) {
+      setGoal(in_slot_, HoldSlotGoal{MediaIntent::server(), ids_});
+      requestChannel(forward_target_, 1, "out");
+    }
+  }
+
+  void onChannelDown(ChannelId) override {
+    if (in_slot_.valid() && !channelOf(in_slot_).valid()) {
+      // The caller went away: fold the outgoing leg too.
+      in_slot_ = SlotId{};
+      if (out_slot_.valid() && channelOf(out_slot_).valid()) {
+        destroyChannel(channelOf(out_slot_));
+      }
+      out_slot_ = SlotId{};
+      forwarded_ = false;
+    } else if (out_slot_.valid() && !channelOf(out_slot_).valid()) {
+      // The callee hung up: release the caller.
+      out_slot_ = SlotId{};
+      if (in_slot_.valid() && channelOf(in_slot_).valid()) {
+        destroyChannel(channelOf(in_slot_));
+        in_slot_ = SlotId{};
+      }
+      forwarded_ = false;
+    }
+  }
+
+ private:
+  std::string served_user_;
+  std::string forward_target_;
+  Mode mode_;
+  DescriptorFactory ids_;
+  SlotId in_slot_;
+  SlotId out_slot_;
+  bool forwarded_ = false;
+};
+
+}  // namespace cmc

@@ -1,0 +1,135 @@
+// PbxBox: an IP PBX serving one telephone (paper Section II-A).
+//
+// The served device has a permanent signaling channel to the PBX; all
+// signaling channels connecting it to other parties radiate from the PBX.
+// The feature offered here is call switching: the device talks to exactly
+// one call at a time — flowLink(line, selected call) — while every other
+// call is held (holdSlot). Because the PBX is the box closest to the
+// device, "proximity confers priority": nothing beyond the PBX can move the
+// device's media unless the PBX's current flowlink allows it, which is
+// precisely what repairs the Fig. 2 pathology.
+#pragma once
+
+#include <map>
+
+#include "core/box.hpp"
+
+namespace cmc {
+
+class PbxBox : public Box {
+ public:
+  PbxBox(BoxId id, std::string name, std::string served_device)
+      : Box(id, std::move(name)), served_device_(std::move(served_device)) {
+    ids_ = DescriptorFactory{id.value()};
+  }
+
+  // ---- feature operations (user actions arriving out of band) ---------
+  // Place an outgoing call for the device; the device's own open on its
+  // line tunnel is extended through the new channel by the flowlink.
+  void dial(const std::string& target) {
+    requestChannel(target, 1, "call:" + target);
+  }
+
+  // Switch the device's audio to the named call; every other call is held.
+  void switchTo(const std::string& call_name) {
+    auto it = calls_.find(call_name);
+    if (it == calls_.end() || !line_slot_.valid()) return;
+    for (auto& [name, slot] : calls_) {
+      if (name != call_name) setGoal(slot, HoldSlotGoal{MediaIntent::server(), ids_});
+    }
+    linkSlots(line_slot_, it->second);
+    active_call_ = call_name;
+  }
+
+  // Put everything on hold (device hears nothing).
+  void holdAll() {
+    if (line_slot_.valid()) {
+      setGoal(line_slot_, HoldSlotGoal{MediaIntent::server(), ids_});
+    }
+    for (auto& [name, slot] : calls_) {
+      setGoal(slot, HoldSlotGoal{MediaIntent::server(), ids_});
+    }
+    active_call_.clear();
+  }
+
+  void endCall(const std::string& call_name) {
+    auto it = calls_.find(call_name);
+    if (it == calls_.end()) return;
+    destroyChannel(channelOf(it->second));
+  }
+
+  [[nodiscard]] const std::string& activeCall() const noexcept { return active_call_; }
+  [[nodiscard]] std::vector<std::string> callNames() const {
+    std::vector<std::string> out;
+    for (const auto& [name, slot] : calls_) out.push_back(name);
+    return out;
+  }
+  [[nodiscard]] bool hasCall(const std::string& name) const {
+    return calls_.count(name) != 0;
+  }
+
+ protected:
+  void onIncomingChannel(ChannelId channel, const std::string& peer) override {
+    if (peer == served_device_ && !line_slot_.valid()) {
+      adoptLine(channel);
+      return;
+    }
+    registerCall(channel, peer);
+  }
+
+  void onChannelUp(ChannelId channel, const std::string& tag) override {
+    if (tag.rfind("call:", 0) == 0) {
+      const std::string name = tag.substr(5);
+      registerCall(channel, name);
+      switchTo(name);
+    } else if (!line_slot_.valid()) {
+      // Statically configured line channel where the PBX is the initiator.
+      adoptLine(channel);
+    }
+  }
+
+  void onChannelDown(ChannelId channel) override {
+    for (auto it = calls_.begin(); it != calls_.end(); ++it) {
+      if (!channelOf(it->second).valid()) {
+        if (active_call_ == it->first) active_call_.clear();
+        calls_.erase(it);
+        break;
+      }
+    }
+    if (line_slot_.valid() && !channelOf(line_slot_).valid()) {
+      line_slot_ = SlotId{};
+    }
+    // Leave the line holding until the user switches somewhere.
+    if (line_slot_.valid() && active_call_.empty()) {
+      setGoal(line_slot_, HoldSlotGoal{MediaIntent::server(), ids_});
+    }
+    (void)channel;
+  }
+
+ private:
+  void adoptLine(ChannelId channel) {
+    const auto slots = slotsOf(channel);
+    if (slots.empty()) return;
+    line_slot_ = slots.front();
+    // Until a call is selected, the line is held: the device's opens are
+    // answered (muted) but reach no one.
+    setGoal(line_slot_, HoldSlotGoal{MediaIntent::server(), ids_});
+  }
+
+  void registerCall(ChannelId channel, const std::string& name) {
+    const auto slots = slotsOf(channel);
+    if (slots.empty()) return;
+    calls_[name] = slots.front();
+    // An unselected call is held: its open is answered (so far-end setup
+    // can complete) but its media reaches the device only when switched to.
+    setGoal(slots.front(), HoldSlotGoal{MediaIntent::server(), ids_});
+  }
+
+  std::string served_device_;
+  DescriptorFactory ids_;
+  SlotId line_slot_;
+  std::map<std::string, SlotId> calls_;
+  std::string active_call_;
+};
+
+}  // namespace cmc

@@ -1,0 +1,54 @@
+#include "channel/channel.hpp"
+
+namespace cmc {
+
+std::ostream& operator<<(std::ostream& os, Side side) {
+  return os << (side == Side::A ? 'A' : 'B');
+}
+
+void serialize(const ChannelMessage& m, ByteWriter& w) {
+  if (const auto* ts = std::get_if<TunnelSignal>(&m)) {
+    w.u8(0);
+    w.u32(ts->tunnel);
+    serialize(ts->signal, w);
+  } else {
+    w.u8(1);
+    std::get<MetaSignal>(m).serialize(w);
+  }
+}
+
+std::optional<ChannelMessage> deserializeChannelMessage(ByteReader& r) {
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) {
+    TunnelSignal ts;
+    ts.tunnel = r.u32();
+    auto sig = deserializeSignal(r);
+    if (!sig) return std::nullopt;
+    ts.signal = std::move(*sig);
+    if (!r.ok()) return std::nullopt;
+    return ChannelMessage{std::move(ts)};
+  }
+  if (tag == 1) {
+    MetaSignal m = MetaSignal::deserialize(r);
+    if (!r.ok()) return std::nullopt;
+    return ChannelMessage{std::move(m)};
+  }
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, const ChannelMessage& m) {
+  if (const auto* ts = std::get_if<TunnelSignal>(&m)) {
+    return os << "t" << ts->tunnel << '/' << ts->signal;
+  }
+  return os << std::get<MetaSignal>(m);
+}
+
+void ChannelState::canonicalize(ByteWriter& w) const {
+  w.u32(tunnel_count_);
+  for (const auto& queue : queues_) {
+    w.u32(static_cast<std::uint32_t>(queue.size()));
+    for (const auto& m : queue) serialize(m, w);
+  }
+}
+
+}  // namespace cmc

@@ -1,0 +1,106 @@
+// Signaling channels (paper Section III-A).
+//
+// A signaling channel is two-way, FIFO, and reliable; between physical
+// components it is typically TCP, within a component it is a pair of
+// software queues. Each channel is partitioned statically into tunnels,
+// each of which carries the media-control protocol for one media channel.
+// The endpoint of a tunnel at a box is a slot.
+//
+// ChannelState is the in-memory (pair-of-queues) realization, a pure value
+// type so that whole system configurations can be copied and fingerprinted
+// by the model checker. The TCP realization lives in src/net and carries
+// the same ChannelMessage frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <variant>
+
+#include "channel/meta.hpp"
+#include "protocol/signal.hpp"
+#include "util/ids.hpp"
+
+namespace cmc {
+
+// The two ends of a signaling channel. Side::A is the end that initiated
+// setup of the channel, which matters for open/open race resolution
+// (Section VI-B: the race winner is the channel initiator).
+enum class Side : std::uint8_t { A = 0, B = 1 };
+
+[[nodiscard]] constexpr Side opposite(Side s) noexcept {
+  return s == Side::A ? Side::B : Side::A;
+}
+
+std::ostream& operator<<(std::ostream& os, Side side);
+
+// A tunnel signal in flight: which tunnel of the channel, and the protocol
+// signal itself.
+struct TunnelSignal {
+  std::uint32_t tunnel = 0;
+  Signal signal;
+
+  friend bool operator==(const TunnelSignal&, const TunnelSignal&) = default;
+};
+
+using ChannelMessage = std::variant<TunnelSignal, MetaSignal>;
+
+void serialize(const ChannelMessage& m, ByteWriter& w);
+[[nodiscard]] std::optional<ChannelMessage> deserializeChannelMessage(ByteReader& r);
+std::ostream& operator<<(std::ostream& os, const ChannelMessage& m);
+
+class ChannelState {
+ public:
+  ChannelState() = default;
+  ChannelState(ChannelId id, std::uint32_t tunnel_count)
+      : id_(id), tunnel_count_(tunnel_count) {}
+
+  [[nodiscard]] ChannelId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t tunnelCount() const noexcept { return tunnel_count_; }
+
+  // Enqueue a message traveling toward `toward`.
+  void push(Side toward, ChannelMessage message) {
+    queueToward(toward).push_back(std::move(message));
+  }
+
+  [[nodiscard]] bool hasMessageToward(Side toward) const noexcept {
+    return !queueToward(toward).empty();
+  }
+
+  [[nodiscard]] const ChannelMessage& peek(Side toward) const {
+    return queueToward(toward).front();
+  }
+
+  // Dequeue the oldest message traveling toward `toward`. FIFO order is the
+  // channel's reliability contract; there is no reordering.
+  [[nodiscard]] ChannelMessage pop(Side toward) {
+    auto& q = queueToward(toward);
+    ChannelMessage m = std::move(q.front());
+    q.pop_front();
+    return m;
+  }
+
+  [[nodiscard]] std::size_t depthToward(Side toward) const noexcept {
+    return queueToward(toward).size();
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return queues_[0].empty() && queues_[1].empty();
+  }
+
+  void canonicalize(ByteWriter& w) const;
+
+ private:
+  [[nodiscard]] std::deque<ChannelMessage>& queueToward(Side s) noexcept {
+    return queues_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const std::deque<ChannelMessage>& queueToward(Side s) const noexcept {
+    return queues_[static_cast<std::size_t>(s)];
+  }
+
+  ChannelId id_;
+  std::uint32_t tunnel_count_ = 1;
+  std::deque<ChannelMessage> queues_[2];  // indexed by the Side they travel toward
+};
+
+}  // namespace cmc

@@ -1,0 +1,36 @@
+#include "channel/meta.hpp"
+
+namespace cmc {
+
+std::string_view toString(MetaKind kind) noexcept {
+  switch (kind) {
+    case MetaKind::setup: return "setup";
+    case MetaKind::teardown: return "teardown";
+    case MetaKind::available: return "available";
+    case MetaKind::unavailable: return "unavailable";
+    case MetaKind::custom: return "custom";
+  }
+  return "?meta";
+}
+
+void MetaSignal::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(tag);
+  w.str(payload);
+}
+
+MetaSignal MetaSignal::deserialize(ByteReader& r) {
+  MetaSignal m;
+  m.kind = static_cast<MetaKind>(r.u8());
+  m.tag = r.str();
+  m.payload = r.str();
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const MetaSignal& meta) {
+  os << "meta:" << toString(meta.kind);
+  if (meta.kind == MetaKind::custom) os << '[' << meta.tag << ']';
+  return os;
+}
+
+}  // namespace cmc

@@ -1,0 +1,43 @@
+// Meta-signals (paper Section III-A).
+//
+// Besides the tunnel signals that control media channels, signaling channels
+// carry meta-signals that refer to the signaling channel as a whole and can
+// affect all tunnels within it: setup and teardown of the channel, and
+// indications that the intended far endpoint is available or unavailable.
+// Applications extend the set with custom meta-signals (e.g. "paid" from the
+// prepaid-card voice resource, or "click" into a click-to-dial box).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cmc {
+
+enum class MetaKind : std::uint8_t {
+  setup = 0,        // channel creation announcement
+  teardown = 1,     // destroys the channel and all its tunnels and slots
+  available = 2,    // far endpoint is reachable / willing
+  unavailable = 3,  // far endpoint cannot be reached (busy, offline, ...)
+  custom = 4,       // application-defined; discriminated by `tag`
+};
+
+[[nodiscard]] std::string_view toString(MetaKind kind) noexcept;
+
+struct MetaSignal {
+  MetaKind kind = MetaKind::custom;
+  std::string tag;      // application meta-signal name when kind == custom
+  std::string payload;  // opaque application payload
+
+  friend bool operator==(const MetaSignal&, const MetaSignal&) = default;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static MetaSignal deserialize(ByteReader& r);
+};
+
+std::ostream& operator<<(std::ostream& os, const MetaSignal& meta);
+
+}  // namespace cmc

@@ -1,0 +1,78 @@
+#include "codec/codec.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cmc {
+
+namespace {
+
+constexpr std::array<CodecInfo, 14> kCodecs{{
+    {Codec::noMedia, Medium::data, "noMedia", 0, 0},
+    {Codec::l16, Medium::audio, "L16", 256, 7},
+    {Codec::g711u, Medium::audio, "G.711u", 64, 6},
+    {Codec::g711a, Medium::audio, "G.711a", 64, 6},
+    {Codec::g722, Medium::audio, "G.722", 64, 5},
+    {Codec::g726, Medium::audio, "G.726", 32, 4},
+    {Codec::g729, Medium::audio, "G.729", 8, 3},
+    {Codec::gsmFr, Medium::audio, "GSM-FR", 13, 2},
+    {Codec::mpeg2, Medium::video, "MPEG-2", 4000, 7},
+    {Codec::h263, Medium::video, "H.263", 768, 5},
+    {Codec::h261, Medium::video, "H.261", 384, 4},
+    {Codec::mjpeg, Medium::video, "MJPEG", 2000, 3},
+    {Codec::t140, Medium::text, "T.140", 1, 5},
+    {Codec::rawData, Medium::data, "raw", 64, 5},
+}};
+
+}  // namespace
+
+std::string_view toString(Medium medium) noexcept {
+  switch (medium) {
+    case Medium::audio: return "audio";
+    case Medium::video: return "video";
+    case Medium::text: return "text";
+    case Medium::data: return "data";
+  }
+  return "?medium";
+}
+
+std::ostream& operator<<(std::ostream& os, Medium medium) {
+  return os << toString(medium);
+}
+
+const CodecInfo& info(Codec codec) noexcept {
+  for (const auto& ci : kCodecs) {
+    if (ci.codec == codec) return ci;
+  }
+  return kCodecs[0];  // unknown codecs degrade to noMedia metadata
+}
+
+std::optional<Codec> codecFromName(std::string_view name) noexcept {
+  for (const auto& ci : kCodecs) {
+    if (ci.name == name) return ci.codec;
+  }
+  return std::nullopt;
+}
+
+std::span<const CodecInfo> allCodecs() noexcept { return kCodecs; }
+
+bool codecMatchesMedium(Codec codec, Medium medium) noexcept {
+  return !isNoMedia(codec) && info(codec).medium == medium;
+}
+
+std::ostream& operator<<(std::ostream& os, Codec codec) {
+  return os << info(codec).name;
+}
+
+std::vector<Codec> codecsFor(Medium medium) {
+  std::vector<Codec> out;
+  for (const auto& ci : kCodecs) {
+    if (ci.codec != Codec::noMedia && ci.medium == medium) out.push_back(ci.codec);
+  }
+  std::sort(out.begin(), out.end(), [](Codec a, Codec b) {
+    return info(a).fidelity > info(b).fidelity;
+  });
+  return out;
+}
+
+}  // namespace cmc

@@ -1,0 +1,284 @@
+#include "core/box.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cmc {
+
+Box::Box(BoxId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+std::vector<SlotId> Box::addChannelEnd(ChannelId channel, std::uint32_t tunnels,
+                                       bool initiator, const std::string& tag,
+                                       const std::string& peer_name) {
+  ChannelEnd end;
+  end.id = channel;
+  end.initiator = initiator;
+  end.peer = peer_name;
+  for (std::uint32_t t = 0; t < tunnels; ++t) {
+    const SlotId slot = slot_ids_.next();
+    slots_.emplace(slot, SlotEndpoint{slot, initiator});
+    end.slots.push_back(slot);
+  }
+  std::vector<SlotId> created = end.slots;
+  channels_.emplace(channel, std::move(end));
+  if (!initiator) {
+    onIncomingChannel(channel, peer_name);
+  } else {
+    onChannelUp(channel, tag);
+  }
+  return created;
+}
+
+void Box::removeChannel(ChannelId channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return;
+  for (SlotId slot : it->second.slots) {
+    detachSlot(slot);
+    slots_.erase(slot);
+  }
+  channels_.erase(it);
+  onChannelDown(channel);
+}
+
+bool Box::hasChannel(ChannelId channel) const noexcept {
+  return channels_.count(channel) != 0;
+}
+
+std::vector<SlotId> Box::slotsOf(ChannelId channel) const {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) return {};
+  return it->second.slots;
+}
+
+ChannelId Box::channelOf(SlotId slot) const {
+  for (const auto& [id, end] : channels_) {
+    if (std::find(end.slots.begin(), end.slots.end(), slot) != end.slots.end()) {
+      return id;
+    }
+  }
+  return ChannelId{};
+}
+
+void Box::setGoal(SlotId slot, EndpointGoal goal) {
+  detachSlot(slot);
+  auto [it, inserted] = single_goals_.emplace(slot, std::move(goal));
+  Outbox out;
+  attach(it->second, slotRef(slot), out);
+  flushOutbox(std::move(out));
+  maybeRequestRetryTimer();
+}
+
+void Box::linkSlots(SlotId a, SlotId b) {
+  if (auto it = link_of_.find(a); it != link_of_.end()) {
+    LinkEntry* entry = it->second;
+    if ((entry->a == a && entry->b == b) || (entry->a == b && entry->b == a)) {
+      return;  // same annotation: the same goal object keeps control
+    }
+  }
+  detachSlot(a);
+  detachSlot(b);
+  auto entry = std::make_unique<LinkEntry>();
+  entry->a = a;
+  entry->b = b;
+  LinkEntry* raw = entry.get();
+  links_.push_back(std::move(entry));
+  link_of_[a] = raw;
+  link_of_[b] = raw;
+  Outbox out;
+  raw->link.attach(slotRef(a), slotRef(b), out);
+  flushOutbox(std::move(out));
+}
+
+void Box::clearGoal(SlotId slot) { detachSlot(slot); }
+
+std::optional<GoalKind> Box::goalKind(SlotId slot) const {
+  if (auto it = single_goals_.find(slot); it != single_goals_.end()) {
+    return kindOf(it->second);
+  }
+  if (link_of_.count(slot) != 0) return GoalKind::flowLink;
+  return std::nullopt;
+}
+
+void Box::fireRetries() {
+  retry_timer_outstanding_ = false;
+  for (auto& [slot, goal] : single_goals_) {
+    if (retryPending(goal)) {
+      Outbox out;
+      retry(goal, slotRef(slot), out);
+      flushOutbox(std::move(out));
+    }
+  }
+  maybeRequestRetryTimer();
+}
+
+bool Box::hasPendingRetries() const {
+  for (const auto& [slot, goal] : single_goals_) {
+    if (retryPending(goal)) return true;
+  }
+  return false;
+}
+
+const SlotEndpoint& Box::slot(SlotId slot) const {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) throw std::logic_error("unknown slot");
+  return it->second;
+}
+
+ProtocolState Box::slotState(SlotId slot) const { return this->slot(slot).state(); }
+
+void Box::deliverTunnel(SlotId slot, const Signal& signal) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;  // raced with channel teardown
+  const DeliverResult result = it->second.deliver(signal);
+  if (result.autoReply) {
+    output_.tunnel.push_back(OutSignal{slot, *result.autoReply});
+  }
+  dispatch(slot, result.event, signal);
+  onSlotActivity(slot);
+  maybeRequestRetryTimer();
+}
+
+void Box::deliverMeta(ChannelId channel, const MetaSignal& meta) {
+  if (meta.kind == MetaKind::teardown) {
+    removeChannel(channel);
+    return;
+  }
+  onMeta(channel, meta);
+}
+
+void Box::fireTimer(const std::string& tag) {
+  if (tag == kRetryTimerTag) {
+    fireRetries();
+    return;
+  }
+  onTimer(tag);
+}
+
+void Box::channelUp(ChannelId channel, const std::string& tag,
+                    const std::vector<SlotId>& slots) {
+  (void)channel;
+  (void)tag;
+  (void)slots;
+  // addChannelEnd already invoked the hook; method retained for runtimes
+  // that separate registration from notification.
+}
+
+Box::Output Box::drainOutput() {
+  Output out = std::move(output_);
+  output_ = Output{};
+  return out;
+}
+
+void Box::setSlotMute(SlotId slot, bool mute_in, bool mute_out) {
+  auto it = single_goals_.find(slot);
+  if (it == single_goals_.end()) return;
+  Outbox out;
+  setMute(it->second, mute_in, mute_out, slotRef(slot), out);
+  flushOutbox(std::move(out));
+}
+
+void Box::setSlotAddress(SlotId slot, MediaAddress addr) {
+  auto it = single_goals_.find(slot);
+  if (it == single_goals_.end()) return;
+  Outbox out;
+  std::visit(
+      [&](auto& goal) {
+        using T = std::decay_t<decltype(goal)>;
+        if constexpr (!std::is_same_v<T, CloseSlotGoal>) {
+          goal.setAddress(addr, slotRef(slot), out);
+        }
+      },
+      it->second);
+  flushOutbox(std::move(out));
+}
+
+bool Box::reselectSlotCodec(SlotId slot, Codec codec) {
+  auto it = single_goals_.find(slot);
+  if (it == single_goals_.end()) return false;
+  Outbox out;
+  bool ok = false;
+  std::visit(
+      [&](auto& goal) {
+        using T = std::decay_t<decltype(goal)>;
+        if constexpr (!std::is_same_v<T, CloseSlotGoal>) {
+          ok = goal.reselect(codec, slotRef(slot), out);
+        }
+      },
+      it->second);
+  flushOutbox(std::move(out));
+  return ok;
+}
+
+void Box::sendMeta(ChannelId channel, MetaSignal meta) {
+  output_.meta.emplace_back(channel, std::move(meta));
+}
+
+void Box::requestChannel(std::string target, std::uint32_t tunnels,
+                         std::string tag) {
+  output_.channelRequests.push_back(
+      ChannelRequest{std::move(target), tunnels, std::move(tag)});
+}
+
+void Box::destroyChannel(ChannelId channel) {
+  output_.teardowns.push_back(channel);
+  removeChannel(channel);
+}
+
+void Box::setTimer(SimDuration delay, std::string tag) {
+  output_.timers.push_back(TimerRequest{delay, std::move(tag)});
+}
+
+SlotEndpoint& Box::slotRef(SlotId slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) throw std::logic_error("unknown slot");
+  return it->second;
+}
+
+void Box::dispatch(SlotId slot, SlotEvent event, const Signal& signal) {
+  if (auto it = single_goals_.find(slot); it != single_goals_.end()) {
+    Outbox out;
+    onEvent(it->second, slotRef(slot), event, out);
+    flushOutbox(std::move(out));
+    return;
+  }
+  if (auto it = link_of_.find(slot); it != link_of_.end()) {
+    LinkEntry* entry = it->second;
+    const SlotId other = entry->a == slot ? entry->b : entry->a;
+    Outbox out;
+    entry->link.onEvent(slotRef(slot), slotRef(other), event, signal, out);
+    flushOutbox(std::move(out));
+    return;
+  }
+  // No goal bound: the slot absorbs the signal (protocol state still
+  // advanced, auto-replies already queued). Feature code typically binds a
+  // goal the moment it creates or learns of a slot.
+  log::debug("box", name_, ": signal on unbound ", slot);
+}
+
+void Box::flushOutbox(Outbox&& out) {
+  for (auto& item : out.take()) {
+    output_.tunnel.push_back(std::move(item));
+  }
+}
+
+void Box::detachSlot(SlotId slot) {
+  single_goals_.erase(slot);
+  auto it = link_of_.find(slot);
+  if (it == link_of_.end()) return;
+  LinkEntry* entry = it->second;
+  link_of_.erase(entry->a);
+  link_of_.erase(entry->b);
+  links_.erase(std::remove_if(links_.begin(), links_.end(),
+                              [entry](const auto& p) { return p.get() == entry; }),
+               links_.end());
+}
+
+void Box::maybeRequestRetryTimer() {
+  if (retry_timer_outstanding_ || !hasPendingRetries()) return;
+  retry_timer_outstanding_ = true;
+  setTimer(retryDelay, kRetryTimerTag);
+}
+
+}  // namespace cmc

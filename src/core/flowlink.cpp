@@ -1,0 +1,147 @@
+#include "core/flowlink.hpp"
+
+#include <stdexcept>
+
+namespace cmc {
+
+void FlowLink::attach(SlotEndpoint& a, SlotEndpoint& b, Outbox& out) {
+  if (a.medium() && b.medium() && *a.medium() != *b.medium()) {
+    throw std::logic_error("flowLink precondition violated: media differ");
+  }
+  slots_ = {a.id(), b.id()};
+  if (slots_[1] < slots_[0]) std::swap(slots_[0], slots_[1]);
+  utd_ = {false, false};
+  closing_mode_ = false;
+  refresh(a, b, out);
+}
+
+bool& FlowLink::utd(const SlotEndpoint& slot) noexcept {
+  return slot.id() == slots_[0] ? utd_[0] : utd_[1];
+}
+
+bool FlowLink::upToDate(const SlotEndpoint& slot) const noexcept {
+  return slot.id() == slots_[0] ? utd_[0] : utd_[1];
+}
+
+void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
+                       const Signal& signal, Outbox& out) {
+  switch (event) {
+    case SlotEvent::openReceived: {
+      // A fresh request from self's far side. Its descriptor supersedes
+      // whatever the other slot was last told, and whatever self was last
+      // told is unrelated to this open.
+      closing_mode_ = false;
+      utd(self) = false;
+      utd(other) = false;
+      refresh(self, other, out);
+      break;
+    }
+
+    case SlotEvent::becameAcceptor: {
+      // We sent open on `self` but lost the open/open race: our open (and
+      // the descriptor it carried) is ignored by the peer; the incoming
+      // open now governs, exactly as if it had found the slot closed.
+      closing_mode_ = false;
+      utd(self) = false;
+      utd(other) = false;
+      refresh(self, other, out);
+      break;
+    }
+
+    case SlotEvent::oackReceived: {
+      // Our open on `self` was accepted; the oack carries the far side's
+      // descriptor, which the other slot has not seen.
+      utd(other) = false;
+      refresh(self, other, out);
+      break;
+    }
+
+    case SlotEvent::descriptorReceived: {
+      // New describe on self: the other slot is no longer up to date.
+      utd(other) = false;
+      refresh(self, other, out);
+      break;
+    }
+
+    case SlotEvent::selectorReceived: {
+      // Forward only fresh selectors: the selector must answer the other
+      // slot's current descriptor, and the other slot must be in a state
+      // that can carry a select (Section VII).
+      const auto& selector = std::get<SelectSignal>(signal).selector;
+      if (other.remoteDescriptor() &&
+          selector.answersDescriptor == other.remoteDescriptor()->id &&
+          other.canModify()) {
+        out.send(other.id(), other.sendSelect(selector));
+      }
+      break;
+    }
+
+    case SlotEvent::closedByPeer: {
+      // Tear the other side down transparently. Suppress the flow bias
+      // until the environment asks to open again.
+      closing_mode_ = true;
+      utd_ = {false, false};
+      if (isLive(other.state())) out.send(other.id(), other.sendClose());
+      break;
+    }
+
+    case SlotEvent::fullyClosed: {
+      // Our close on self was acknowledged. If this completes a teardown,
+      // rest in both-closed; if the other side is live (the closeack ends
+      // an old channel while new work arrived), resume matching.
+      utd(self) = false;
+      if (!closing_mode_) refresh(self, other, out);
+      break;
+    }
+
+    case SlotEvent::none:
+    case SlotEvent::ignored:
+      break;
+  }
+}
+
+void FlowLink::refresh(SlotEndpoint& a, SlotEndpoint& b, Outbox& out) {
+  // Order matters only for signal emission order on distinct tunnels, which
+  // is unconstrained; do a then b.
+  refreshOne(a, b, out);
+  refreshOne(b, a, out);
+}
+
+void FlowLink::refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& out) {
+  if (upToDate(target) || !described(source)) return;
+  const Descriptor& fresh = *source.remoteDescriptor();
+  switch (target.state()) {
+    case ProtocolState::flowing:
+      out.send(target.id(), target.sendDescribe(fresh));
+      utd(target) = true;
+      break;
+    case ProtocolState::opened:
+      // Accept the pending open, forwarding the descriptor from the other
+      // side of the link. Any selector owed by a previous descriptor is
+      // made irrelevant: only fresh selectors matter.
+      out.send(target.id(), target.sendOack(fresh));
+      utd(target) = true;
+      break;
+    case ProtocolState::closed:
+      if (!closing_mode_ || ablation_ignore_closing_mode) {
+        // The flow bias of Fig. 12: extend the live side's channel.
+        out.send(target.id(),
+                 target.sendOpen(source.medium().value_or(Medium::audio), fresh));
+        utd(target) = true;
+      }
+      break;
+    case ProtocolState::opening:
+    case ProtocolState::closing:
+      // In-flight; the answer (oack/close/closeack) will re-trigger refresh.
+      break;
+  }
+}
+
+void FlowLink::canonicalize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.boolean(utd_[0]);
+  w.boolean(utd_[1]);
+  w.boolean(closing_mode_);
+}
+
+}  // namespace cmc

@@ -1,0 +1,54 @@
+// EndpointGoal: whichever of the three single-slot primitives controls a
+// path endpoint, with uniform dispatch. (flowLink controls two slots and is
+// handled separately.)
+#pragma once
+
+#include <variant>
+
+#include "core/flowlink.hpp"
+#include "core/goals.hpp"
+
+namespace cmc {
+
+using EndpointGoal = std::variant<OpenSlotGoal, CloseSlotGoal, HoldSlotGoal>;
+
+[[nodiscard]] inline GoalKind kindOf(const EndpointGoal& goal) noexcept {
+  return std::visit([](const auto& g) { return g.kind; }, goal);
+}
+
+inline void attach(EndpointGoal& goal, SlotEndpoint& slot, Outbox& out) {
+  std::visit([&](auto& g) { g.attach(slot, out); }, goal);
+}
+
+inline void onEvent(EndpointGoal& goal, SlotEndpoint& slot, SlotEvent event,
+                    Outbox& out) {
+  std::visit([&](auto& g) { g.onEvent(slot, event, out); }, goal);
+}
+
+// User modify event; no-op for closeSlot (a closed channel has no muting).
+inline void setMute(EndpointGoal& goal, bool mute_in, bool mute_out,
+                    SlotEndpoint& slot, Outbox& out) {
+  std::visit(
+      [&](auto& g) {
+        using T = std::decay_t<decltype(g)>;
+        if constexpr (!std::is_same_v<T, CloseSlotGoal>) {
+          g.setMute(mute_in, mute_out, slot, out);
+        }
+      },
+      goal);
+}
+
+[[nodiscard]] inline bool retryPending(const EndpointGoal& goal) noexcept {
+  const auto* open = std::get_if<OpenSlotGoal>(&goal);
+  return open != nullptr && open->retryPending();
+}
+
+inline void retry(EndpointGoal& goal, SlotEndpoint& slot, Outbox& out) {
+  if (auto* open = std::get_if<OpenSlotGoal>(&goal)) open->retry(slot, out);
+}
+
+inline void canonicalize(const EndpointGoal& goal, ByteWriter& w) {
+  std::visit([&](const auto& g) { g.canonicalize(w); }, goal);
+}
+
+}  // namespace cmc

@@ -1,0 +1,302 @@
+#include "core/goals.hpp"
+
+namespace cmc {
+
+std::string_view toString(GoalKind kind) noexcept {
+  switch (kind) {
+    case GoalKind::openSlot: return "openSlot";
+    case GoalKind::closeSlot: return "closeSlot";
+    case GoalKind::holdSlot: return "holdSlot";
+    case GoalKind::flowLink: return "flowLink";
+  }
+  return "?goal";
+}
+
+namespace {
+
+// Accept an offered channel by sending oack with our own receiver
+// description, then select answering the opener's descriptor (the
+// !oack / !select sequence of Fig. 9).
+void acceptOffered(SlotEndpoint& slot, const MediaIntent& intent,
+                   const Descriptor& self, Outbox& out) {
+  const Descriptor remote = *slot.remoteDescriptor();  // set by the open
+  out.send(slot.id(), slot.sendOack(self));
+  out.send(slot.id(), slot.sendSelect(intent.answer(remote)));
+}
+
+// Answer the most recent remote descriptor with a fresh selector.
+void answerRemote(SlotEndpoint& slot, const MediaIntent& intent, Outbox& out) {
+  if (slot.remoteDescriptor()) {
+    out.send(slot.id(), slot.sendSelect(intent.answer(*slot.remoteDescriptor())));
+  }
+}
+
+// After gaining control of a slot that is already flowing (possible for any
+// goal after the model checker's chaotic phase, and for holdSlot at any
+// time), re-assert our receiver description and re-answer the remote one.
+// Idempotent by protocol design (Section VI-C).
+void refreshFlowing(SlotEndpoint& slot, const MediaIntent& intent,
+                    const Descriptor& self, Outbox& out) {
+  out.send(slot.id(), slot.sendDescribe(self));
+  answerRemote(slot, intent, out);
+}
+
+void signalMuteChange(bool changed_in, bool changed_out, SlotEndpoint& slot,
+                      const MediaIntent& intent, const Descriptor& self,
+                      Outbox& out) {
+  if (!slot.canModify()) return;  // picked up at the next open/accept
+  if (changed_in) out.send(slot.id(), slot.sendDescribe(self));
+  if (changed_out) answerRemote(slot, intent, out);
+}
+
+// Unilateral codec re-selection (Section VI-B): legal at any time after the
+// first selector, provided the codec is on the remote descriptor's list.
+bool reselectCodec(Codec codec, SlotEndpoint& slot, const MediaIntent& intent,
+                   Outbox& out) {
+  if (!slot.canModify() || !slot.remoteDescriptor()) return false;
+  const Descriptor& remote = *slot.remoteDescriptor();
+  if (std::find(remote.codecs.begin(), remote.codecs.end(), codec) ==
+      remote.codecs.end()) {
+    return false;
+  }
+  out.send(slot.id(),
+           slot.sendSelect(Selector{remote.id, intent.addr, codec}));
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- openSlot
+
+const Descriptor& OpenSlotGoal::selfDescriptor() {
+  if (!self_desc_) self_desc_ = intent_.describeSelf(ids_);
+  return *self_desc_;
+}
+
+void OpenSlotGoal::attach(SlotEndpoint& slot, Outbox& out) {
+  retry_pending_ = false;
+  switch (slot.state()) {
+    case ProtocolState::closed:
+      out.send(slot.id(), slot.sendOpen(medium_, selfDescriptor()));
+      break;
+    case ProtocolState::opened:
+      accept(slot, out);
+      break;
+    case ProtocolState::flowing:
+      refreshFlowing(slot, intent_, selfDescriptor(), out);
+      break;
+    case ProtocolState::opening:
+      // An open is already in flight; adopt it and wait for the answer.
+      break;
+    case ProtocolState::closing:
+      // Wait for closeack; fullyClosed will trigger a (re)open.
+      retry_pending_ = true;
+      break;
+  }
+}
+
+void OpenSlotGoal::onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out) {
+  switch (event) {
+    case SlotEvent::openReceived:
+    case SlotEvent::becameAcceptor:
+      // The far end asked first (or won an open/open race): take the
+      // opportunity — an openslot pushes toward flowing however it can.
+      accept(slot, out);
+      break;
+    case SlotEvent::oackReceived:
+      // If the accepted open was inherited from a previous controller (the
+      // goal attached while the slot was already opening), the descriptor
+      // it carried was not ours: re-describe so the far end sends to this
+      // party, not to whatever the old controller advertised.
+      if (slot.lastDescriptorSent() != selfDescriptor().id) {
+        out.send(slot.id(), slot.sendDescribe(selfDescriptor()));
+      }
+      answerRemote(slot, intent_, out);
+      break;
+    case SlotEvent::descriptorReceived:
+      answerRemote(slot, intent_, out);
+      break;
+    case SlotEvent::closedByPeer:
+    case SlotEvent::fullyClosed:
+      // Rejected or torn down: the goal persists, so try again (paper:
+      // "If an openslot sends open and receives reject, it sends open
+      // again"). Pacing is the runtime's business.
+      retry_pending_ = true;
+      break;
+    case SlotEvent::selectorReceived:
+    case SlotEvent::none:
+    case SlotEvent::ignored:
+      break;
+  }
+}
+
+void OpenSlotGoal::setMute(bool mute_in, bool mute_out, SlotEndpoint& slot,
+                           Outbox& out) {
+  const bool changed_in = intent_.muteIn != mute_in;
+  const bool changed_out = intent_.muteOut != mute_out;
+  intent_.muteIn = mute_in;
+  intent_.muteOut = mute_out;
+  if (changed_in) self_desc_.reset();  // receiver description changed
+  signalMuteChange(changed_in, changed_out, slot, intent_, selfDescriptor(), out);
+}
+
+void OpenSlotGoal::setAddress(MediaAddress addr, SlotEndpoint& slot,
+                              Outbox& out) {
+  if (intent_.addr == addr) return;
+  intent_.addr = addr;
+  self_desc_.reset();  // the receiver description changed
+  if (slot.canModify()) out.send(slot.id(), slot.sendDescribe(selfDescriptor()));
+}
+
+bool OpenSlotGoal::reselect(Codec codec, SlotEndpoint& slot, Outbox& out) {
+  return reselectCodec(codec, slot, intent_, out);
+}
+
+void OpenSlotGoal::retry(SlotEndpoint& slot, Outbox& out) {
+  if (!retry_pending_) return;
+  if (slot.state() == ProtocolState::closed) {
+    retry_pending_ = false;
+    out.send(slot.id(), slot.sendOpen(medium_, selfDescriptor()));
+  }
+}
+
+void OpenSlotGoal::accept(SlotEndpoint& slot, Outbox& out) {
+  retry_pending_ = false;
+  acceptOffered(slot, intent_, selfDescriptor(), out);
+}
+
+void OpenSlotGoal::canonicalize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(medium_));
+  intent_.canonicalize(w);
+  ids_.canonicalize(w);
+  w.boolean(self_desc_.has_value());
+  if (self_desc_) w.u64(self_desc_->id.value());
+  w.boolean(retry_pending_);
+}
+
+// --------------------------------------------------------------- closeSlot
+
+void CloseSlotGoal::attach(SlotEndpoint& slot, Outbox& out) {
+  switch (slot.state()) {
+    case ProtocolState::opening:
+    case ProtocolState::opened:
+    case ProtocolState::flowing:
+      out.send(slot.id(), slot.sendClose());
+      break;
+    case ProtocolState::closing:
+    case ProtocolState::closed:
+      break;  // already where we want it (or on the way)
+  }
+}
+
+void CloseSlotGoal::onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out) {
+  switch (event) {
+    case SlotEvent::openReceived:
+    case SlotEvent::becameAcceptor:
+      // Reject immediately: close plays the role of reject (Section VI-B).
+      out.send(slot.id(), slot.sendClose());
+      break;
+    case SlotEvent::oackReceived:
+    case SlotEvent::descriptorReceived:
+      // Can only mean the slot is somehow live; push it back down.
+      if (isLive(slot.state())) out.send(slot.id(), slot.sendClose());
+      break;
+    case SlotEvent::closedByPeer:
+    case SlotEvent::fullyClosed:
+    case SlotEvent::selectorReceived:
+    case SlotEvent::none:
+    case SlotEvent::ignored:
+      break;
+  }
+}
+
+void CloseSlotGoal::canonicalize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+// ---------------------------------------------------------------- holdSlot
+
+const Descriptor& HoldSlotGoal::selfDescriptor() {
+  if (!self_desc_) self_desc_ = intent_.describeSelf(ids_);
+  return *self_desc_;
+}
+
+void HoldSlotGoal::attach(SlotEndpoint& slot, Outbox& out) {
+  switch (slot.state()) {
+    case ProtocolState::opened:
+      accept(slot, out);
+      break;
+    case ProtocolState::flowing:
+      refreshFlowing(slot, intent_, selfDescriptor(), out);
+      break;
+    case ProtocolState::closed:
+    case ProtocolState::opening:
+    case ProtocolState::closing:
+      // Wait: a holdslot never originates anything.
+      break;
+  }
+}
+
+void HoldSlotGoal::onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out) {
+  switch (event) {
+    case SlotEvent::openReceived:
+    case SlotEvent::becameAcceptor:
+      accept(slot, out);
+      break;
+    case SlotEvent::oackReceived:
+      // An earlier controller's open was accepted; its descriptor was not
+      // ours, so re-describe before answering (see OpenSlotGoal).
+      if (slot.lastDescriptorSent() != selfDescriptor().id) {
+        out.send(slot.id(), slot.sendDescribe(selfDescriptor()));
+      }
+      answerRemote(slot, intent_, out);
+      break;
+    case SlotEvent::descriptorReceived:
+      answerRemote(slot, intent_, out);
+      break;
+    case SlotEvent::closedByPeer:
+    case SlotEvent::fullyClosed:
+      break;  // stay closed until the other end asks to open
+    case SlotEvent::selectorReceived:
+    case SlotEvent::none:
+    case SlotEvent::ignored:
+      break;
+  }
+}
+
+void HoldSlotGoal::setMute(bool mute_in, bool mute_out, SlotEndpoint& slot,
+                           Outbox& out) {
+  const bool changed_in = intent_.muteIn != mute_in;
+  const bool changed_out = intent_.muteOut != mute_out;
+  intent_.muteIn = mute_in;
+  intent_.muteOut = mute_out;
+  if (changed_in) self_desc_.reset();
+  signalMuteChange(changed_in, changed_out, slot, intent_, selfDescriptor(), out);
+}
+
+void HoldSlotGoal::setAddress(MediaAddress addr, SlotEndpoint& slot,
+                              Outbox& out) {
+  if (intent_.addr == addr) return;
+  intent_.addr = addr;
+  self_desc_.reset();
+  if (slot.canModify()) out.send(slot.id(), slot.sendDescribe(selfDescriptor()));
+}
+
+bool HoldSlotGoal::reselect(Codec codec, SlotEndpoint& slot, Outbox& out) {
+  return reselectCodec(codec, slot, intent_, out);
+}
+
+void HoldSlotGoal::accept(SlotEndpoint& slot, Outbox& out) {
+  acceptOffered(slot, intent_, selfDescriptor(), out);
+}
+
+void HoldSlotGoal::canonicalize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  intent_.canonicalize(w);
+  ids_.canonicalize(w);
+  w.boolean(self_desc_.has_value());
+  if (self_desc_) w.u64(self_desc_->id.value());
+}
+
+}  // namespace cmc

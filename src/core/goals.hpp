@@ -1,0 +1,128 @@
+// The single-slot goal primitives (paper Section IV-A).
+//
+// Application programmers manipulate media channels by annotating program
+// states with *goals* for slots. A goal object reads all signals received
+// from its slot and writes all signals sent to it:
+//
+//   openSlot(s, m)  open a media channel with medium m and push it to the
+//                   flowing state; re-sends open if rejected. Emits open and
+//                   oack, never close.
+//   closeSlot(s)    get the slot to the closed state and keep it there;
+//                   rejects incoming opens immediately. Emits close, never
+//                   open or oack.
+//   holdSlot(s)     accept a channel and push it to flowing, but only if the
+//                   other end of the path requests it; if the other end
+//                   closes, stay closed until it asks again. Emits oack,
+//                   never open or close.
+//
+// closeSlot and holdSlot have no fixed initial state: a program can switch a
+// slot to them at any point of the slot's life, and the object must proceed
+// from whatever state the slot is in. (The model checker exploits this: its
+// chaotic initial phases hand goals slots in every reachable state.)
+//
+// All goals are value types stepped by the runtime; signals go out through
+// an Outbox.
+#pragma once
+
+#include <optional>
+
+#include "core/intent.hpp"
+#include "core/outbox.hpp"
+#include "protocol/slot_endpoint.hpp"
+
+namespace cmc {
+
+enum class GoalKind : std::uint8_t { openSlot, closeSlot, holdSlot, flowLink };
+
+[[nodiscard]] std::string_view toString(GoalKind kind) noexcept;
+
+class OpenSlotGoal {
+ public:
+  OpenSlotGoal() = default;
+  OpenSlotGoal(Medium medium, MediaIntent intent, DescriptorFactory ids) noexcept
+      : medium_(medium), intent_(std::move(intent)), ids_(ids) {}
+
+  static constexpr GoalKind kind = GoalKind::openSlot;
+
+  void attach(SlotEndpoint& slot, Outbox& out);
+  void onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out);
+
+  // User interface: the modify event of Fig. 5. Only media endpoints call
+  // this; if the slot is flowing the change is signaled immediately.
+  void setMute(bool mute_in, bool mute_out, SlotEndpoint& slot, Outbox& out);
+
+  // Mid-channel modifications beyond muting (paper Section VI-B and
+  // footnote 4): change this party's receive address (mobility) — a fresh
+  // descriptor goes out in a describe; or unilaterally switch the codec we
+  // send, which must be offered by the remote descriptor ("media sources
+  // may wish to send using different codecs even within the same media
+  // episode"). reselect returns false if the codec is not on offer.
+  void setAddress(MediaAddress addr, SlotEndpoint& slot, Outbox& out);
+  bool reselect(Codec codec, SlotEndpoint& slot, Outbox& out);
+
+  // After a rejection the openslot wants to send open again. The runtime
+  // chooses when (timer-paced in real time, explicit action in the model
+  // checker) and calls retry().
+  [[nodiscard]] bool retryPending() const noexcept { return retry_pending_; }
+  void retry(SlotEndpoint& slot, Outbox& out);
+
+  [[nodiscard]] Medium medium() const noexcept { return medium_; }
+  [[nodiscard]] const MediaIntent& intent() const noexcept { return intent_; }
+
+  void canonicalize(ByteWriter& w) const;
+
+ private:
+  void accept(SlotEndpoint& slot, Outbox& out);
+  [[nodiscard]] const Descriptor& selfDescriptor();
+
+  Medium medium_ = Medium::audio;
+  MediaIntent intent_;
+  DescriptorFactory ids_;
+  // Current self-description. Descriptors are idempotent, so re-sends reuse
+  // the same descriptor (same id); a new one is minted only when the intent
+  // changes. This also keeps the model checker's state space finite.
+  std::optional<Descriptor> self_desc_;
+  bool retry_pending_ = false;
+};
+
+class CloseSlotGoal {
+ public:
+  CloseSlotGoal() = default;
+
+  static constexpr GoalKind kind = GoalKind::closeSlot;
+
+  void attach(SlotEndpoint& slot, Outbox& out);
+  void onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out);
+
+  void canonicalize(ByteWriter& w) const;
+};
+
+class HoldSlotGoal {
+ public:
+  HoldSlotGoal() = default;
+  HoldSlotGoal(MediaIntent intent, DescriptorFactory ids) noexcept
+      : intent_(std::move(intent)), ids_(ids) {}
+
+  static constexpr GoalKind kind = GoalKind::holdSlot;
+
+  void attach(SlotEndpoint& slot, Outbox& out);
+  void onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out);
+
+  void setMute(bool mute_in, bool mute_out, SlotEndpoint& slot, Outbox& out);
+  void setAddress(MediaAddress addr, SlotEndpoint& slot, Outbox& out);
+  bool reselect(Codec codec, SlotEndpoint& slot, Outbox& out);
+
+  [[nodiscard]] const MediaIntent& intent() const noexcept { return intent_; }
+
+  void canonicalize(ByteWriter& w) const;
+
+ private:
+  void accept(SlotEndpoint& slot, Outbox& out);
+  [[nodiscard]] const Descriptor& selfDescriptor();
+
+  MediaIntent intent_;
+  DescriptorFactory ids_;
+  std::optional<Descriptor> self_desc_;
+};
+
+}  // namespace cmc

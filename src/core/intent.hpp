@@ -1,0 +1,85 @@
+// Media intent: what the owner of a slot is, as a media receiver/sender.
+//
+// A goal object in a *media endpoint* uses the endpoint's real address and
+// codec capabilities, and the user's mute choices. A goal object in an
+// *application server* is masquerading as a media endpoint but is not one:
+// it can neither send nor receive media packets fruitfully, so when it opens
+// or accepts a channel it mutes media flow in both directions (paper
+// Section IV-A). MediaIntent::server() captures that case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/descriptor.hpp"
+#include "util/ids.hpp"
+
+namespace cmc {
+
+// Allocates globally unique descriptor ids. Each endpoint (or server goal)
+// owns a factory seeded with a distinct namespace so ids never collide.
+// Pure value type: the model checker snapshots it with the rest of the state.
+class DescriptorFactory {
+ public:
+  DescriptorFactory() = default;
+  explicit DescriptorFactory(std::uint64_t space) noexcept
+      : next_((space + 1) << 20) {}
+
+  [[nodiscard]] DescriptorId fresh() noexcept { return DescriptorId{next_++}; }
+
+  void canonicalize(ByteWriter& w) const { w.u64(next_); }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+struct MediaIntent {
+  MediaAddress addr;              // where this party receives media
+  std::vector<Codec> receivable;  // priority order, best first
+  std::vector<Codec> sendable;
+  bool muteIn = false;   // user wishes inward flow suspended
+  bool muteOut = false;  // user wishes outward flow suspended
+
+  // Intent of a slot inside an application server: no real media endpoint,
+  // both directions muted.
+  [[nodiscard]] static MediaIntent server() {
+    MediaIntent intent;
+    intent.muteIn = true;
+    intent.muteOut = true;
+    return intent;
+  }
+
+  // Intent of a media endpoint with symmetric codec capability.
+  [[nodiscard]] static MediaIntent endpoint(MediaAddress addr,
+                                            std::vector<Codec> codecs) {
+    MediaIntent intent;
+    intent.addr = addr;
+    intent.receivable = codecs;
+    intent.sendable = std::move(codecs);
+    return intent;
+  }
+
+  // Self-description as a receiver: offers `receivable` unless muteIn, in
+  // which case the single offered codec is noMedia.
+  [[nodiscard]] Descriptor describeSelf(DescriptorFactory& ids) const {
+    return makeDescriptor(ids.fresh(), addr, receivable, muteIn);
+  }
+
+  // Answer to a received descriptor: unilateral codec choice.
+  [[nodiscard]] Selector answer(const Descriptor& received) const {
+    return makeSelector(received, addr, sendable, muteOut);
+  }
+
+  void canonicalize(ByteWriter& w) const {
+    w.u32(addr.ip);
+    w.u16(addr.port);
+    w.boolean(muteIn);
+    w.boolean(muteOut);
+    w.u16(static_cast<std::uint16_t>(receivable.size()));
+    for (Codec c : receivable) w.u16(static_cast<std::uint16_t>(c));
+    w.u16(static_cast<std::uint16_t>(sendable.size()));
+    for (Codec c : sendable) w.u16(static_cast<std::uint16_t>(c));
+  }
+};
+
+}  // namespace cmc

@@ -1,0 +1,39 @@
+// Outbox: signals a goal object decided to send, in order.
+//
+// Goal objects are pure state machines: they never perform I/O. Every step
+// appends (slot, signal) pairs to an Outbox and the surrounding runtime
+// (simulator, TCP loop, or model checker) moves them onto the tunnels.
+// Order within the outbox is the order signals must appear on the wire.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "protocol/signal.hpp"
+#include "util/ids.hpp"
+
+namespace cmc {
+
+struct OutSignal {
+  SlotId slot;
+  Signal signal;
+};
+
+class Outbox {
+ public:
+  void send(SlotId slot, Signal signal) {
+    signals_.push_back(OutSignal{slot, std::move(signal)});
+  }
+
+  [[nodiscard]] const std::vector<OutSignal>& signals() const noexcept {
+    return signals_;
+  }
+  [[nodiscard]] std::vector<OutSignal> take() noexcept { return std::move(signals_); }
+  [[nodiscard]] bool empty() const noexcept { return signals_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return signals_.size(); }
+
+ private:
+  std::vector<OutSignal> signals_;
+};
+
+}  // namespace cmc

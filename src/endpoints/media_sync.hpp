@@ -1,0 +1,42 @@
+// Glue between a slot's protocol state and the media plane.
+//
+// The paper (Section VI-B) fixes exactly when media may move:
+//   * an endpoint may SEND as soon as it has sent a selector with a real
+//     codec — the selector names the codec and the remote descriptor names
+//     the destination address;
+//   * an endpoint should be READY TO RECEIVE as soon as it has received a
+//     selector with a real codec (the relaxed synchronization of footnote
+//     5: packets racing ahead of the selector are clipped).
+#pragma once
+
+#include <set>
+
+#include "media/endpoint.hpp"
+#include "protocol/slot_endpoint.hpp"
+
+namespace cmc {
+
+// Compute the sending state a slot currently authorizes, if any.
+[[nodiscard]] inline std::optional<MediaEndpoint::SendState> sendStateOf(
+    const SlotEndpoint& slot) {
+  if (slot.state() != ProtocolState::flowing) return std::nullopt;
+  if (!slot.remoteDescriptor() || !slot.lastSelectorSent()) return std::nullopt;
+  const Selector& sel = *slot.lastSelectorSent();
+  if (sel.answersDescriptor != slot.remoteDescriptor()->id || sel.isNoMedia()) {
+    return std::nullopt;
+  }
+  return MediaEndpoint::SendState{slot.remoteDescriptor()->addr, sel.codec};
+}
+
+// Compute the codec set a slot currently authorizes this party to accept.
+[[nodiscard]] inline std::set<Codec> listenStateOf(const SlotEndpoint& slot) {
+  if (slot.state() != ProtocolState::flowing) return {};
+  if (!slot.lastSelectorReceived()) return {};
+  const Selector& sel = *slot.lastSelectorReceived();
+  if (sel.answersDescriptor != slot.lastDescriptorSent() || sel.isNoMedia()) {
+    return {};
+  }
+  return {sel.codec};
+}
+
+}  // namespace cmc

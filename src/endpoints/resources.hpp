@@ -1,0 +1,147 @@
+// Media resources: tone generator and audio-signaling voice resource.
+//
+// Media-processing resources are endpoints too (paper Section I): they
+// source or sink media under the direction of application servers. Both
+// resources here accept whatever is offered (holdSlot per tunnel) — the
+// deciding is done upstream by feature boxes.
+#pragma once
+
+#include <functional>
+
+#include "core/box.hpp"
+#include "endpoints/media_sync.hpp"
+
+namespace cmc {
+
+// ToneGeneratorBox: plays a tone (busy, ringback, ...) to whoever connects
+// a media channel to it. The paper's Click-to-Dial box uses one because
+// devices often cannot generate tones locally when playing the called-party
+// role (Fig. 6, footnote 3). The "tone" is identified by this resource's
+// EndpointId appearing among a listener's audible sources.
+class ToneGeneratorBox : public Box {
+ public:
+  ToneGeneratorBox(BoxId id, std::string name, MediaNetwork& media_network,
+                   EventLoop& loop, MediaAddress media_addr)
+      : Box(id, std::move(name)),
+        media_(EndpointId{id.value()}, media_addr, media_network, loop) {
+    intent_ = MediaIntent::endpoint(media_addr, {Codec::g711u, Codec::g726});
+    // A tone generator only talks; it need not listen.
+    intent_.muteIn = true;
+    ids_ = DescriptorFactory{id.value()};
+  }
+
+  [[nodiscard]] MediaEndpoint& media() noexcept { return media_; }
+  [[nodiscard]] EndpointId toneId() const noexcept { return media_.id(); }
+
+ protected:
+  void onIncomingChannel(ChannelId channel, const std::string&) override {
+    for (SlotId s : slotsOf(channel)) setGoal(s, HoldSlotGoal{intent_, ids_});
+  }
+
+  void onChannelDown(ChannelId) override { sync(); }
+
+  void onSlotActivity(SlotId slot) override {
+    last_active_ = slot;
+    sync();
+  }
+
+ private:
+  void sync() {
+    if (last_active_.valid() && channelOf(last_active_).valid()) {
+      media_.setSending(sendStateOf(this->slot(last_active_)));
+      media_.setListening(listenStateOf(this->slot(last_active_)));
+    } else {
+      media_.setSending(std::nullopt);
+    }
+  }
+
+  MediaEndpoint media_;
+  MediaIntent intent_;
+  DescriptorFactory ids_;
+  SlotId last_active_;
+};
+
+// VoiceResourceBox: the audio-signaling user interface of the prepaid-card
+// feature (V in the paper's Figs. 2 and 3). It prompts the caller over the
+// media channel (its announcements appear as this resource's EndpointId in
+// the caller's audible set) and "listens" for touch-tone authorization: once
+// it has heard the caller's media for `authorizeAfter`, it reports success
+// to its controlling server with a custom meta-signal "paid".
+class VoiceResourceBox : public Box {
+ public:
+  VoiceResourceBox(BoxId id, std::string name, MediaNetwork& media_network,
+                   EventLoop& loop, MediaAddress media_addr)
+      : Box(id, std::move(name)),
+        loop_(loop),
+        media_(EndpointId{id.value()}, media_addr, media_network, loop) {
+    intent_ = MediaIntent::endpoint(media_addr, {Codec::g711u, Codec::g726});
+    ids_ = DescriptorFactory{id.value()};
+  }
+
+  [[nodiscard]] MediaEndpoint& media() noexcept { return media_; }
+  [[nodiscard]] const MediaEndpoint& media() const noexcept { return media_; }
+  [[nodiscard]] bool authorized() const noexcept { return paid_sent_; }
+  [[nodiscard]] int authorizations() const noexcept { return authorizations_; }
+
+  // How long the resource must continuously hear the caller before treating
+  // the funds as verified (stands in for playing the announcement and
+  // collecting the touch-tone authorization).
+  SimDuration authorizeAfter{2'000'000};  // 2 s
+
+ protected:
+  void onIncomingChannel(ChannelId channel, const std::string&) override {
+    control_channel_ = channel;
+    for (SlotId s : slotsOf(channel)) setGoal(s, HoldSlotGoal{intent_, ids_});
+    setTimer(kCheckInterval, "authcheck");
+  }
+
+  void onChannelDown(ChannelId channel) override {
+    if (channel == control_channel_) control_channel_ = ChannelId{};
+    media_.setSending(std::nullopt);
+  }
+
+  void onSlotActivity(SlotId slot) override {
+    last_active_ = slot;
+    if (last_active_.valid()) {
+      media_.setSending(sendStateOf(this->slot(last_active_)));
+      media_.setListening(listenStateOf(this->slot(last_active_)));
+    }
+  }
+
+  void onTimer(const std::string& tag) override {
+    if (tag != "authcheck") return;
+    if (!control_channel_.valid()) return;  // feature gone; stop polling
+    const bool hearing = !media_.audibleSources(kCheckInterval * 3).empty();
+    if (hearing) {
+      silent_checks_ = 0;
+      if (!first_heard_) first_heard_ = loop_.now();
+      if (!paid_sent_ && loop_.now() - *first_heard_ >= authorizeAfter) {
+        paid_sent_ = true;
+        ++authorizations_;
+        sendMeta(control_channel_, MetaSignal{MetaKind::custom, "paid", ""});
+      }
+    } else {
+      first_heard_.reset();
+      // Prolonged silence means the collection episode ended (the feature
+      // reconnected the caller); re-arm for the next episode.
+      if (++silent_checks_ >= 3) paid_sent_ = false;
+    }
+    setTimer(kCheckInterval, "authcheck");
+  }
+
+ private:
+  static constexpr SimDuration kCheckInterval{100'000};  // 100 ms
+
+  EventLoop& loop_;
+  MediaEndpoint media_;
+  MediaIntent intent_;
+  DescriptorFactory ids_;
+  ChannelId control_channel_;
+  SlotId last_active_;
+  std::optional<SimTime> first_heard_;
+  int silent_checks_ = 0;
+  bool paid_sent_ = false;
+  int authorizations_ = 0;
+};
+
+}  // namespace cmc

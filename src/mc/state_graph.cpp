@@ -1,0 +1,153 @@
+#include "mc/state_graph.hpp"
+
+#include <chrono>
+#include <deque>
+
+namespace cmc {
+
+namespace {
+
+StateBits bitsOf(const PathSystem& system, bool terminal) {
+  StateBits bits{};
+  bits.bothClosed = system.bothClosed();
+  bits.bothFlowing = system.bothFlowing();
+  bits.quiescent = system.quiescent();
+  bool attached = true;
+  for (std::uint32_t p = 0; p < system.partyCount(); ++p) {
+    attached = attached && system.partyAttached(p);
+  }
+  bits.allAttached = attached;
+  bool stable = true;
+  auto slot_ok = [](const SlotEndpoint& slot) {
+    return slot.state() == ProtocolState::closed ||
+           slot.state() == ProtocolState::flowing;
+  };
+  stable = stable && slot_ok(system.endpointSlot(PathEnd::left));
+  stable = stable && slot_ok(system.endpointSlot(PathEnd::right));
+  for (std::size_t i = 0; i < system.flowlinkCount(); ++i) {
+    stable = stable && slot_ok(system.flowlinkSlot(i, Side::A));
+    stable = stable && slot_ok(system.flowlinkSlot(i, Side::B));
+  }
+  bits.slotsStable = stable;
+  bits.terminal = terminal;
+  bits.left_state =
+      static_cast<std::uint8_t>(system.endpointSlot(PathEnd::left).state());
+  bits.right_state =
+      static_cast<std::uint8_t>(system.endpointSlot(PathEnd::right).state());
+  bits.media_left = system.mediaEnabled(PathEnd::left);
+  bits.media_right = system.mediaEnabled(PathEnd::right);
+  return bits;
+}
+
+}  // namespace
+
+std::set<std::uint32_t> quiescentObservables(const ExploreResult& graph) {
+  std::set<std::uint32_t> out;
+  for (const StateBits& bits : graph.bits) {
+    if (bits.quiescent && bits.allAttached) out.insert(bits.observable());
+  }
+  return out;
+}
+
+std::vector<std::string> ExploreResult::traceTo(std::uint32_t state) const {
+  std::vector<std::string> trace;
+  std::uint32_t current = state;
+  while (current != 0) {
+    trace.push_back(parent_action[current]);
+    current = parent[current];
+  }
+  std::reverse(trace.begin(), trace.end());
+  return trace;
+}
+
+ExploreResult explorePath(GoalKind left, GoalKind right, std::size_t flowlinks,
+                          const ExploreLimits& limits) {
+  PathSystem initial(PathSystem::makeGoal(left, PathEnd::left),
+                     PathSystem::makeGoal(right, PathEnd::right), flowlinks,
+                     limits.defer_attach);
+  initial.setChaosBudget(limits.defer_attach ? limits.chaos_budget : 0);
+  initial.setModifyBudget(limits.modify_budget);
+  if (!limits.defer_attach) {
+    // Goals already attached in the constructor.
+  }
+  return explore(initial, limits);
+}
+
+ExploreResult explore(const PathSystem& initial, const ExploreLimits& limits) {
+  const auto start_time = std::chrono::steady_clock::now();
+  ExploreResult result;
+
+  // State storage: a state's PathSystem is only needed until it has been
+  // expanded, after which the slot is freed (the bits and edges remain).
+  std::vector<std::optional<PathSystem>> states;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  index_of.reserve(1 << 16);
+
+  auto canonicalBytes = [](const PathSystem& s) {
+    ByteWriter w;
+    s.canonicalize(w);
+    return w.take();
+  };
+
+  {
+    auto bytes = canonicalBytes(initial);
+    index_of.emplace(fnv1a(bytes), 0);
+    result.bytes_canonical += bytes.size();
+  }
+  states.emplace_back(initial);
+  result.bits.push_back(StateBits{});
+  result.edges.emplace_back();
+  result.parent.push_back(0);
+  result.parent_action.emplace_back("<init>");
+
+  std::deque<std::uint32_t> frontier;
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::uint32_t index = frontier.front();
+    frontier.pop_front();
+    // Copy out the actions; applying mutates a copy of the state.
+    const std::vector<PathAction> actions = states[index]->enabledActions();
+    result.bits[index] = bitsOf(*states[index], actions.empty());
+    if (actions.empty()) {
+      ++result.terminals;
+      result.edges[index].push_back(index);  // stutter
+      ++result.transitions;
+      states[index].reset();
+      continue;
+    }
+    for (const PathAction& action : actions) {
+      if (states.size() >= limits.max_states) {
+        result.truncated = true;
+        break;
+      }
+      PathSystem successor = *states[index];
+      successor.apply(action);
+      auto bytes = canonicalBytes(successor);
+      const std::uint64_t fp = fnv1a(bytes);
+      auto [it, inserted] =
+          index_of.emplace(fp, static_cast<std::uint32_t>(states.size()));
+      if (inserted) {
+        result.bytes_canonical += bytes.size();
+        states.emplace_back(std::move(successor));
+        result.bits.push_back(StateBits{});
+        result.edges.emplace_back();
+        result.parent.push_back(index);
+        result.parent_action.push_back(action.toString());
+        frontier.push_back(it->second);
+      }
+      result.edges[index].push_back(it->second);
+      ++result.transitions;
+    }
+    states[index].reset();
+    if (result.truncated) break;
+  }
+
+  // States left unexpanded due to truncation keep empty bits; mark them.
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_time)
+                       .count();
+  return result;
+}
+
+}  // namespace cmc

@@ -1,0 +1,99 @@
+// Explicit-state exploration of a signaling-path configuration.
+//
+// The model checked is not a hand-translated abstraction: it is the very
+// PathSystem (slot FSMs, goal objects, flowlinks, FIFO channels) that the
+// rest of the library runs. Nondeterminism is exactly the set of enabled
+// PathActions in each state; the explorer enumerates them all, canonicalizes
+// successor states to 64-bit fingerprints, and records the predicate bits
+// each temporal property needs. Terminal states (no enabled actions) get a
+// virtual self-loop, which encodes stuttering semantics for the temporal
+// checks.
+//
+// This mirrors the paper's Promela/Spin setup (Section VIII-A): chaotic
+// initial phases per goal object (PathSystem chaos budgets), a safety check
+// (every quiescent fully-attached state has its slots closed or flowing),
+// and the Section V path properties.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/path.hpp"
+
+namespace cmc {
+
+// Predicate bits recorded per explored state.
+struct StateBits {
+  bool bothClosed : 1;
+  bool bothFlowing : 1;
+  bool quiescent : 1;
+  bool allAttached : 1;
+  bool slotsStable : 1;  // every slot closed or flowing
+  bool terminal : 1;     // no enabled actions
+  // Endpoint-observable projection (for the transparency check): protocol
+  // states of the two path endpoints and their media-enabled flags.
+  std::uint8_t left_state : 3;
+  std::uint8_t right_state : 3;
+  bool media_left : 1;   // left endpoint ready to transmit
+  bool media_right : 1;  // right endpoint ready to transmit
+
+  // The endpoint-observable fingerprint of this state. Section V requires
+  // that "a path of a given type can have any number of tunnels and
+  // flowlinks, as these should be transparent with respect to observable
+  // behavior": the set of these values over quiescent states must be the
+  // same for every flowlink count.
+  [[nodiscard]] std::uint32_t observable() const noexcept {
+    return static_cast<std::uint32_t>(left_state) |
+           (static_cast<std::uint32_t>(right_state) << 3) |
+           (static_cast<std::uint32_t>(media_left) << 6) |
+           (static_cast<std::uint32_t>(media_right) << 7) |
+           (static_cast<std::uint32_t>(bothFlowing) << 8);
+  }
+};
+
+struct ExploreLimits {
+  std::size_t max_states = 2'000'000;
+  std::uint32_t chaos_budget = 2;
+  std::uint32_t modify_budget = 1;
+  bool defer_attach = true;  // chaotic initial phase before goals engage
+};
+
+struct ExploreResult {
+  std::vector<StateBits> bits;
+  // Adjacency: edges[i] lists successor state indices (terminal self-loops
+  // included).
+  std::vector<std::vector<std::uint32_t>> edges;
+  // Parent pointers for counterexample reconstruction.
+  std::vector<std::uint32_t> parent;
+  std::vector<std::string> parent_action;
+  std::size_t transitions = 0;
+  std::size_t terminals = 0;
+  bool truncated = false;        // hit max_states
+  std::size_t bytes_canonical = 0;  // total canonical-state bytes (memory proxy)
+  double seconds = 0;
+
+  [[nodiscard]] std::size_t states() const noexcept { return bits.size(); }
+
+  // Path of actions from the initial state to `state`.
+  [[nodiscard]] std::vector<std::string> traceTo(std::uint32_t state) const;
+};
+
+// Explore all reachable states of the path configuration with the goals
+// named at the two ends and `flowlinks` interior flowlink boxes.
+[[nodiscard]] ExploreResult explorePath(GoalKind left, GoalKind right,
+                                        std::size_t flowlinks,
+                                        const ExploreLimits& limits = {});
+
+// Explore from an explicit initial system (already configured/budgeted).
+[[nodiscard]] ExploreResult explore(const PathSystem& initial,
+                                    const ExploreLimits& limits = {});
+
+// The set of endpoint-observable fingerprints over quiescent fully-attached
+// states — the basis of the Section V transparency check.
+[[nodiscard]] std::set<std::uint32_t> quiescentObservables(
+    const ExploreResult& graph);
+
+}  // namespace cmc

@@ -1,0 +1,56 @@
+// Temporal-property checking over explored state graphs.
+//
+// The paper's path specifications (Section V) are all of shapes checkable
+// by pure graph analysis on a finite state graph with stuttering terminals:
+//
+//   ◇□P   fails iff some reachable cycle contains a ¬P state
+//   □◇P   fails iff some reachable cycle lies entirely within ¬P states
+//   ◇□A ∨ □◇B   fails iff some reachable cycle avoids B everywhere and
+//               contains a ¬A state (then ¬A recurs while B never does)
+//
+// (Terminal states carry virtual self-loops, so "stuck forever at s" is the
+// cycle {s}.) All three reduce to one query: in the subgraph of ¬B states,
+// is there a strongly connected component containing a cycle and a ¬A
+// state? ◇□P is the query with A=P, B=false; □◇P with A=false, B=P.
+//
+// The SCC computation is an iterative Tarjan, safe for millions of states.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "mc/state_graph.hpp"
+
+namespace cmc {
+
+using StatePredicate = std::function<bool(const StateBits&)>;
+
+struct TemporalViolation {
+  std::uint32_t witness_state = 0;  // a state on the offending cycle
+  std::string description;
+};
+
+// Core query: exists a cycle within {s : !B(s)} containing a state with
+// !A(s)? Returns a witness if so.
+[[nodiscard]] std::optional<TemporalViolation> findLassoViolation(
+    const ExploreResult& graph, const StatePredicate& A, const StatePredicate& B);
+
+// ◇□P — eventually always P.
+[[nodiscard]] std::optional<TemporalViolation> checkEventuallyAlways(
+    const ExploreResult& graph, const StatePredicate& P);
+
+// □◇P — always eventually P.
+[[nodiscard]] std::optional<TemporalViolation> checkAlwaysEventually(
+    const ExploreResult& graph, const StatePredicate& P);
+
+// (◇□A) ∨ (□◇B).
+[[nodiscard]] std::optional<TemporalViolation> checkStableOrRecurrent(
+    const ExploreResult& graph, const StatePredicate& A, const StatePredicate& B);
+
+// Safety (paper Section VIII-A): every quiescent, fully-attached state has
+// all slots closed or flowing; in particular every terminal state does.
+// Returns a violating state if any.
+[[nodiscard]] std::optional<TemporalViolation> checkSafety(
+    const ExploreResult& graph);
+
+}  // namespace cmc

@@ -1,0 +1,159 @@
+// Conference bridge: the media resource that performs audio mixing
+// (paper Section IV-B, Fig. 7).
+//
+// Each *leg* of the bridge is a full media endpoint: toward the bridge an
+// audio channel carries the voice of a single user; away from the bridge it
+// carries the mix selected by the bridge's mix matrix. The default matrix
+// is the standard conference mix — every leg hears every other leg but not
+// itself. Partial-muting scenarios (business muting, emergency-services
+// muting, whisper training) are just different matrices, set by the
+// application server through standardized meta-signals; the bridge applies
+// whatever matrix it is told (paper: "they are just different mixes of the
+// three audio inputs").
+#pragma once
+
+#include <vector>
+
+#include "media/endpoint.hpp"
+
+namespace cmc {
+
+class ConferenceBridge {
+ public:
+  ConferenceBridge(MediaNetwork& network, EventLoop& loop)
+      : network_(network), loop_(loop) {}
+
+  ~ConferenceBridge() {
+    for (auto& leg : legs_) network_.detach(leg.addr);
+  }
+
+  ConferenceBridge(const ConferenceBridge&) = delete;
+  ConferenceBridge& operator=(const ConferenceBridge&) = delete;
+
+  // Add a leg listening at `addr`. Returns the leg index. The mix matrix
+  // grows with full-mesh defaults (hear everyone but yourself).
+  std::size_t addLeg(MediaAddress addr) {
+    const std::size_t index = legs_.size();
+    Leg leg;
+    leg.addr = addr;
+    leg.sink = std::make_unique<Sink>(this, index);
+    network_.attach(addr, leg.sink.get());
+    legs_.push_back(std::move(leg));
+    for (auto& row : mix_) row.push_back(true);
+    mix_.emplace_back(legs_.size(), true);
+    mix_.back()[index] = false;  // never hear yourself
+    return index;
+  }
+
+  [[nodiscard]] std::size_t legCount() const noexcept { return legs_.size(); }
+  [[nodiscard]] const MediaAddress& legAddress(std::size_t leg) const {
+    return legs_[leg].addr;
+  }
+
+  // Signaling-driven per-leg state, mirroring MediaEndpoint.
+  void setLegSending(std::size_t leg, std::optional<MediaEndpoint::SendState> state) {
+    legs_[leg].sending = state;
+    if (state && !isNoMedia(state->codec)) startTicker();
+  }
+  void setLegListening(std::size_t leg, std::set<Codec> codecs) {
+    legs_[leg].listening = std::move(codecs);
+  }
+
+  // Mix control: can leg `to` hear the input arriving on leg `from`?
+  void setAudible(std::size_t from, std::size_t to, bool audible) {
+    mix_[to][from] = audible && from != to;
+  }
+  [[nodiscard]] bool audible(std::size_t from, std::size_t to) const {
+    return mix_[to][from];
+  }
+
+  [[nodiscard]] std::uint64_t legPacketsIn(std::size_t leg) const {
+    return legs_[leg].received;
+  }
+  [[nodiscard]] std::uint64_t legPacketsOut(std::size_t leg) const {
+    return legs_[leg].emitted;
+  }
+
+  SimDuration packetInterval{20'000};
+  // Inputs older than this fall out of the mix (speaker went silent).
+  SimDuration mixWindow{100'000};
+
+ private:
+  struct Leg {
+    MediaAddress addr;
+    std::optional<MediaEndpoint::SendState> sending;
+    std::set<Codec> listening;
+    // Freshest contribution per original source heard on this leg.
+    std::map<EndpointId, SimTime> inputs;
+    std::set<EndpointId> everHeard;
+    std::uint64_t received = 0;
+    std::uint64_t emitted = 0;
+    std::unique_ptr<MediaSink> sink;
+  };
+
+  struct Sink : MediaSink {
+    Sink(ConferenceBridge* bridge, std::size_t leg) : bridge(bridge), leg(leg) {}
+    void onMediaPacket(const MediaPacket& packet) override {
+      bridge->onLegPacket(leg, packet);
+    }
+    ConferenceBridge* bridge;
+    std::size_t leg;
+  };
+
+  void onLegPacket(std::size_t index, const MediaPacket& packet) {
+    Leg& leg = legs_[index];
+    if (leg.listening.count(packet.codec) == 0) return;  // not negotiated
+    ++leg.received;
+    for (EndpointId src : packet.contributors) {
+      leg.inputs[src] = loop_.now();
+      leg.everHeard.insert(src);
+    }
+  }
+
+  void startTicker() {
+    if (ticking_) return;
+    ticking_ = true;
+    tick();
+  }
+
+  void tick() {
+    loop_.schedule(packetInterval, [this]() {
+      bool any_sending = false;
+      for (std::size_t j = 0; j < legs_.size(); ++j) {
+        Leg& out = legs_[j];
+        if (!out.sending || isNoMedia(out.sending->codec)) continue;
+        any_sending = true;
+        MediaPacket packet;
+        packet.from = out.addr;
+        packet.to = out.sending->target;
+        packet.codec = out.sending->codec;
+        packet.seq = seq_++;
+        for (std::size_t i = 0; i < legs_.size(); ++i) {
+          if (!mix_[j][i]) continue;
+          for (const auto& [src, when] : legs_[i].inputs) {
+            if (loop_.now() - when <= mixWindow) packet.contributors.push_back(src);
+          }
+        }
+        if (!packet.contributors.empty()) {
+          ++out.emitted;
+          network_.send(std::move(packet));
+        }
+      }
+      if (any_sending) {
+        tick();
+      } else {
+        ticking_ = false;
+      }
+    });
+  }
+
+  MediaNetwork& network_;
+  EventLoop& loop_;
+  std::vector<Leg> legs_;
+  // mix_[to][from]: leg `to` hears input of leg `from`.
+  std::vector<std::vector<bool>> mix_;
+  bool ticking_ = false;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace cmc

@@ -1,0 +1,60 @@
+// Media-plane network: routes packets directly between endpoint addresses.
+//
+// Media packets travel directly between media endpoints — never through
+// application servers (paper Section I, Fig. 1); the media network
+// therefore knows nothing about boxes or signaling. Delivery is
+// best-effort with a fixed small latency: unlike the signaling channel
+// (TCP), limited loss is preferable to delay (RTP), so packets addressed
+// to nobody are silently dropped, which is exactly the "thrown away"
+// behavior of the paper's Fig. 2 pathology.
+#pragma once
+
+#include <map>
+
+#include "media/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace cmc {
+
+class MediaSink {
+ public:
+  virtual ~MediaSink() = default;
+  virtual void onMediaPacket(const MediaPacket& packet) = 0;
+};
+
+class MediaNetwork {
+ public:
+  explicit MediaNetwork(EventLoop& loop, SimDuration latency = SimDuration{10'000})
+      : loop_(loop), latency_(latency) {}
+
+  void attach(const MediaAddress& addr, MediaSink* sink) { sinks_[addr] = sink; }
+  void detach(const MediaAddress& addr) { sinks_.erase(addr); }
+
+  void send(MediaPacket packet) {
+    ++sent_;
+    packet.sent_at = loop_.now();
+    loop_.schedule(latency_, [this, packet = std::move(packet)]() {
+      auto it = sinks_.find(packet.to);
+      if (it == sinks_.end()) {
+        ++dropped_;  // addressed to nobody: thrown away
+        return;
+      }
+      ++delivered_;
+      it->second->onMediaPacket(packet);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t packetsSent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t packetsDelivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t packetsDropped() const noexcept { return dropped_; }
+
+ private:
+  EventLoop& loop_;
+  SimDuration latency_;
+  std::map<MediaAddress, MediaSink*> sinks_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cmc

@@ -1,0 +1,31 @@
+// Simulated RTP-like media packets.
+//
+// The paper's media channels carry RTP between endpoint addresses; here a
+// packet carries, instead of audio samples, the set of original sources
+// audible in it. That makes the correctness conditions of the paper's
+// scenarios directly observable: "B is left transmitting to an endpoint
+// that throws the packets away" or "C can hear the whisper of the
+// supervisor" become assertions over contributor sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/descriptor.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace cmc {
+
+struct MediaPacket {
+  MediaAddress from;
+  MediaAddress to;
+  Codec codec = Codec::noMedia;
+  std::uint32_t seq = 0;
+  SimTime sent_at;
+  // Original media sources mixed into this packet (one entry for a plain
+  // endpoint, several after a conference bridge).
+  std::vector<EndpointId> contributors;
+};
+
+}  // namespace cmc

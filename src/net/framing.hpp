@@ -1,0 +1,74 @@
+// Length-prefixed framing of ChannelMessages over a byte stream.
+//
+// A signaling channel between physical components is typically TCP (paper
+// Section III-A): two-way, FIFO, reliable. TCP gives a byte stream, so
+// messages are delimited with a 4-byte little-endian length prefix followed
+// by the ChannelMessage serialization from src/channel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "channel/channel.hpp"
+
+namespace cmc::net {
+
+// Encode one message as a frame.
+[[nodiscard]] inline std::vector<std::uint8_t> encodeFrame(
+    const ChannelMessage& message) {
+  ByteWriter body;
+  serialize(message, body);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  std::vector<std::uint8_t> out = frame.take();
+  const auto& b = body.bytes();
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+// Incremental decoder: feed arbitrary byte chunks, pop whole messages.
+class FrameDecoder {
+ public:
+  // Maximum accepted frame size; malformed/hostile lengths are rejected.
+  static constexpr std::uint32_t kMaxFrame = 1 << 20;
+
+  void feed(const std::uint8_t* data, std::size_t size) {
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+
+  // Returns the next complete message, or nullopt if more bytes are needed.
+  // A malformed frame poisons the decoder (error() becomes true): the
+  // stream has lost sync and the connection should be dropped.
+  [[nodiscard]] std::optional<ChannelMessage> next() {
+    if (error_ || buffer_.size() < 4) return std::nullopt;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+                << (8 * i);
+    }
+    if (length > kMaxFrame) {
+      error_ = true;
+      return std::nullopt;
+    }
+    if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return std::nullopt;
+    ByteReader reader(buffer_.data() + 4, length);
+    auto message = deserializeChannelMessage(reader);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+    if (!message) {
+      error_ = true;
+      return std::nullopt;
+    }
+    return message;
+  }
+
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  bool error_ = false;
+};
+
+}  // namespace cmc::net

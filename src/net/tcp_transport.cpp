@@ -1,0 +1,128 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace cmc::net {
+
+TcpSignalingPeer::TcpSignalingPeer(int fd) : fd_(fd) {
+  // Signaling is latency-sensitive and messages are tiny: disable Nagle.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpSignalingPeer::~TcpSignalingPeer() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+void TcpSignalingPeer::start(MessageHandler on_message, ClosedHandler on_closed) {
+  on_message_ = std::move(on_message);
+  on_closed_ = std::move(on_closed);
+  reader_ = std::thread([this]() { readLoop(); });
+}
+
+bool TcpSignalingPeer::send(const ChannelMessage& message) {
+  if (!open_.load()) return false;
+  const std::vector<std::uint8_t> frame = encodeFrame(message);
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      open_.store(false);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpSignalingPeer::close() {
+  bool was_open = open_.exchange(false);
+  if (was_open) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+  }
+}
+
+void TcpSignalingPeer::readLoop() {
+  FrameDecoder decoder;
+  std::uint8_t chunk[4096];
+  while (open_.load()) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    while (auto message = decoder.next()) {
+      if (on_message_) on_message_(*message);
+    }
+    if (decoder.error()) {
+      log::warn("net", "malformed frame; dropping connection");
+      break;
+    }
+  }
+  open_.store(false);
+  if (on_closed_) on_closed_();
+}
+
+std::unique_ptr<TcpSignalingPeer> TcpSignalingPeer::connect(
+    const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpSignalingPeer>(fd);
+}
+
+TcpSignalingListener::TcpSignalingListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpSignalingListener::~TcpSignalingListener() { close(); }
+
+std::unique_ptr<TcpSignalingPeer> TcpSignalingListener::acceptOne() {
+  if (fd_ < 0) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_unique<TcpSignalingPeer>(client);
+}
+
+void TcpSignalingListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cmc::net

@@ -1,0 +1,101 @@
+#include "protocol/signal.hpp"
+
+namespace cmc {
+
+SignalKind kindOf(const Signal& signal) noexcept {
+  return static_cast<SignalKind>(signal.index());
+}
+
+std::string_view toString(SignalKind kind) noexcept {
+  switch (kind) {
+    case SignalKind::open: return "open";
+    case SignalKind::oack: return "oack";
+    case SignalKind::close: return "close";
+    case SignalKind::closeack: return "closeack";
+    case SignalKind::describe: return "describe";
+    case SignalKind::select: return "select";
+  }
+  return "?signal";
+}
+
+std::ostream& operator<<(std::ostream& os, const Signal& signal) {
+  os << toString(kindOf(signal));
+  if (const auto* open = std::get_if<OpenSignal>(&signal)) {
+    os << '(' << open->medium << ", " << open->descriptor << ')';
+  } else if (const auto* oack = std::get_if<OackSignal>(&signal)) {
+    os << '(' << oack->descriptor << ')';
+  } else if (const auto* describe = std::get_if<DescribeSignal>(&signal)) {
+    os << '(' << describe->descriptor << ')';
+  } else if (const auto* select = std::get_if<SelectSignal>(&signal)) {
+    os << '(' << select->selector << ')';
+  }
+  return os;
+}
+
+const Descriptor* descriptorOf(const Signal& signal) noexcept {
+  if (const auto* open = std::get_if<OpenSignal>(&signal)) return &open->descriptor;
+  if (const auto* oack = std::get_if<OackSignal>(&signal)) return &oack->descriptor;
+  if (const auto* describe = std::get_if<DescribeSignal>(&signal)) {
+    return &describe->descriptor;
+  }
+  return nullptr;
+}
+
+void serialize(const Signal& signal, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(kindOf(signal)));
+  std::visit(
+      [&w](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, OpenSignal>) {
+          w.u8(static_cast<std::uint8_t>(s.medium));
+          s.descriptor.serialize(w);
+        } else if constexpr (std::is_same_v<T, OackSignal>) {
+          s.descriptor.serialize(w);
+        } else if constexpr (std::is_same_v<T, DescribeSignal>) {
+          s.descriptor.serialize(w);
+        } else if constexpr (std::is_same_v<T, SelectSignal>) {
+          s.selector.serialize(w);
+        }
+        // close / closeack carry no payload
+      },
+      signal);
+}
+
+std::optional<Signal> deserializeSignal(ByteReader& r) {
+  const auto kind = static_cast<SignalKind>(r.u8());
+  Signal out;
+  switch (kind) {
+    case SignalKind::open: {
+      OpenSignal s;
+      s.medium = static_cast<Medium>(r.u8());
+      s.descriptor = Descriptor::deserialize(r);
+      out = std::move(s);
+      break;
+    }
+    case SignalKind::oack: {
+      OackSignal s;
+      s.descriptor = Descriptor::deserialize(r);
+      out = std::move(s);
+      break;
+    }
+    case SignalKind::close: out = CloseSignal{}; break;
+    case SignalKind::closeack: out = CloseAckSignal{}; break;
+    case SignalKind::describe: {
+      DescribeSignal s;
+      s.descriptor = Descriptor::deserialize(r);
+      out = std::move(s);
+      break;
+    }
+    case SignalKind::select: {
+      SelectSignal s;
+      s.selector = Selector::deserialize(r);
+      out = std::move(s);
+      break;
+    }
+    default: return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace cmc

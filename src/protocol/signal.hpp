@@ -1,0 +1,83 @@
+// Tunnel signals (paper Section VI-B, Fig. 9 and Fig. 10).
+//
+// The media-control protocol operates separately in each tunnel of each
+// signaling channel. Six signals exist:
+//
+//   open(medium, descriptor)  attempt to open a media channel
+//   oack(descriptor)          affirmative answer to open
+//   close                     close or reject; answered by closeack
+//   closeack                  acknowledgement of close
+//   describe(descriptor)      new self-description as receiver (idempotent)
+//   select(selector)          unilateral codec choice answering a descriptor
+//
+// The protocol is deliberately *not* transactional: describe and select may
+// be sent at any time in the flowing state, in both directions concurrently,
+// with no enforced pairing (Section VI-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string_view>
+#include <variant>
+
+#include "codec/descriptor.hpp"
+
+namespace cmc {
+
+struct OpenSignal {
+  Medium medium = Medium::audio;
+  Descriptor descriptor;  // the opener's self-description as receiver
+
+  friend bool operator==(const OpenSignal&, const OpenSignal&) = default;
+};
+
+struct OackSignal {
+  Descriptor descriptor;  // the acceptor's self-description as receiver
+
+  friend bool operator==(const OackSignal&, const OackSignal&) = default;
+};
+
+struct CloseSignal {
+  friend bool operator==(const CloseSignal&, const CloseSignal&) = default;
+};
+
+struct CloseAckSignal {
+  friend bool operator==(const CloseAckSignal&, const CloseAckSignal&) = default;
+};
+
+struct DescribeSignal {
+  Descriptor descriptor;
+
+  friend bool operator==(const DescribeSignal&, const DescribeSignal&) = default;
+};
+
+struct SelectSignal {
+  Selector selector;
+
+  friend bool operator==(const SelectSignal&, const SelectSignal&) = default;
+};
+
+using Signal = std::variant<OpenSignal, OackSignal, CloseSignal, CloseAckSignal,
+                            DescribeSignal, SelectSignal>;
+
+enum class SignalKind : std::uint8_t {
+  open = 0,
+  oack = 1,
+  close = 2,
+  closeack = 3,
+  describe = 4,
+  select = 5,
+};
+
+[[nodiscard]] SignalKind kindOf(const Signal& signal) noexcept;
+[[nodiscard]] std::string_view toString(SignalKind kind) noexcept;
+std::ostream& operator<<(std::ostream& os, const Signal& signal);
+
+// Descriptor carried by the signal, if any (open/oack/describe).
+[[nodiscard]] const Descriptor* descriptorOf(const Signal& signal) noexcept;
+
+void serialize(const Signal& signal, ByteWriter& w);
+[[nodiscard]] std::optional<Signal> deserializeSignal(ByteReader& r);
+
+}  // namespace cmc

@@ -1,0 +1,178 @@
+#include "protocol/slot_endpoint.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cmc {
+
+std::string_view toString(ProtocolState state) noexcept {
+  switch (state) {
+    case ProtocolState::closed: return "closed";
+    case ProtocolState::opening: return "opening";
+    case ProtocolState::opened: return "opened";
+    case ProtocolState::flowing: return "flowing";
+    case ProtocolState::closing: return "closing";
+  }
+  return "?state";
+}
+
+std::ostream& operator<<(std::ostream& os, ProtocolState state) {
+  return os << toString(state);
+}
+
+namespace {
+[[noreturn]] void illegalSend(std::string_view what, ProtocolState state, SlotId id) {
+  std::ostringstream oss;
+  oss << "illegal send of " << what << " in state " << toString(state) << " on "
+      << id;
+  throw std::logic_error(oss.str());
+}
+}  // namespace
+
+Signal SlotEndpoint::sendOpen(Medium medium, Descriptor descriptor) {
+  if (state_ != ProtocolState::closed) illegalSend("open", state_, id_);
+  state_ = ProtocolState::opening;
+  medium_ = medium;
+  last_descriptor_sent_ = descriptor.id;
+  return OpenSignal{medium, std::move(descriptor)};
+}
+
+Signal SlotEndpoint::sendOack(Descriptor descriptor) {
+  if (state_ != ProtocolState::opened) illegalSend("oack", state_, id_);
+  state_ = ProtocolState::flowing;
+  last_descriptor_sent_ = descriptor.id;
+  return OackSignal{std::move(descriptor)};
+}
+
+Signal SlotEndpoint::sendClose() {
+  if (state_ != ProtocolState::opening && state_ != ProtocolState::opened &&
+      state_ != ProtocolState::flowing) {
+    illegalSend("close", state_, id_);
+  }
+  state_ = ProtocolState::closing;
+  return CloseSignal{};
+}
+
+Signal SlotEndpoint::sendDescribe(Descriptor descriptor) {
+  if (state_ != ProtocolState::flowing) illegalSend("describe", state_, id_);
+  last_descriptor_sent_ = descriptor.id;
+  return DescribeSignal{std::move(descriptor)};
+}
+
+Signal SlotEndpoint::sendSelect(Selector selector) {
+  if (state_ != ProtocolState::flowing) illegalSend("select", state_, id_);
+  last_selector_sent_ = selector;
+  return SelectSignal{std::move(selector)};
+}
+
+DeliverResult SlotEndpoint::deliver(const Signal& signal) {
+  switch (kindOf(signal)) {
+    case SignalKind::open: {
+      const auto& open = std::get<OpenSignal>(signal);
+      if (state_ == ProtocolState::closed) {
+        state_ = ProtocolState::opened;
+        medium_ = open.medium;
+        remote_descriptor_ = open.descriptor;
+        return {SlotEvent::openReceived, std::nullopt};
+      }
+      if (state_ == ProtocolState::opening) {
+        // open/open race within the tunnel. The winner is the end that
+        // initiated setup of the signaling channel (Section VI-B).
+        if (channel_initiator_) {
+          // We win: the peer will back off; its open is simply ignored.
+          return {SlotEvent::ignored, std::nullopt};
+        }
+        // We lose: back off and become the acceptor. The peer ignores the
+        // open we already sent; the incoming open now governs.
+        state_ = ProtocolState::opened;
+        medium_ = open.medium;
+        remote_descriptor_ = open.descriptor;
+        return {SlotEvent::becameAcceptor, std::nullopt};
+      }
+      // open in opened/flowing/closing: obsolete or protocol misuse; drop.
+      return {SlotEvent::ignored, std::nullopt};
+    }
+
+    case SignalKind::oack: {
+      const auto& oack = std::get<OackSignal>(signal);
+      if (state_ == ProtocolState::opening) {
+        state_ = ProtocolState::flowing;
+        remote_descriptor_ = oack.descriptor;
+        return {SlotEvent::oackReceived, std::nullopt};
+      }
+      // oack while closing (we gave up) or in any other state: obsolete.
+      return {SlotEvent::ignored, std::nullopt};
+    }
+
+    case SignalKind::close: {
+      if (state_ == ProtocolState::closing) {
+        // close/close cross: acknowledge the peer's close, keep waiting for
+        // the acknowledgement of our own.
+        return {SlotEvent::ignored, Signal{CloseAckSignal{}}};
+      }
+      if (state_ == ProtocolState::closed) {
+        // Duplicate / very late close; acknowledge to keep the peer's FSM
+        // moving, stay closed.
+        return {SlotEvent::ignored, Signal{CloseAckSignal{}}};
+      }
+      // opening (our open was rejected), opened, or flowing.
+      reset();
+      return {SlotEvent::closedByPeer, Signal{CloseAckSignal{}}};
+    }
+
+    case SignalKind::closeack: {
+      if (state_ == ProtocolState::closing) {
+        reset();
+        return {SlotEvent::fullyClosed, std::nullopt};
+      }
+      return {SlotEvent::ignored, std::nullopt};
+    }
+
+    case SignalKind::describe: {
+      const auto& describe = std::get<DescribeSignal>(signal);
+      if (state_ == ProtocolState::flowing) {
+        remote_descriptor_ = describe.descriptor;
+        return {SlotEvent::descriptorReceived, std::nullopt};
+      }
+      // describe racing with our close, or arriving before we answered an
+      // open: in this protocol describes are only sent in flowing, so the
+      // only legitimate case is racing a close; drop it.
+      return {SlotEvent::ignored, std::nullopt};
+    }
+
+    case SignalKind::select: {
+      const auto& select = std::get<SelectSignal>(signal);
+      if (state_ == ProtocolState::flowing) {
+        last_selector_received_ = select.selector;
+        return {SlotEvent::selectorReceived, std::nullopt};
+      }
+      return {SlotEvent::ignored, std::nullopt};
+    }
+  }
+  return {SlotEvent::ignored, std::nullopt};
+}
+
+void SlotEndpoint::reset() noexcept {
+  state_ = ProtocolState::closed;
+  medium_.reset();
+  remote_descriptor_.reset();
+  last_selector_received_.reset();
+  last_descriptor_sent_ = DescriptorId{};
+  last_selector_sent_.reset();
+}
+
+void SlotEndpoint::canonicalize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.boolean(channel_initiator_);
+  w.boolean(medium_.has_value());
+  if (medium_) w.u8(static_cast<std::uint8_t>(*medium_));
+  w.boolean(remote_descriptor_.has_value());
+  if (remote_descriptor_) remote_descriptor_->serialize(w);
+  w.boolean(last_selector_received_.has_value());
+  if (last_selector_received_) last_selector_received_->serialize(w);
+  w.u64(last_descriptor_sent_.value());
+  w.boolean(last_selector_sent_.has_value());
+  if (last_selector_sent_) last_selector_sent_->serialize(w);
+}
+
+}  // namespace cmc

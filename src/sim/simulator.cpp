@@ -1,0 +1,231 @@
+#include "sim/simulator.hpp"
+
+#include "util/log.hpp"
+
+namespace cmc {
+
+Simulator::Simulator(TimingModel timing, std::uint64_t seed)
+    : timing_(timing), rng_(seed) {}
+
+Box& Simulator::box(const std::string& name) {
+  auto it = boxes_.find(name);
+  if (it == boxes_.end()) throw std::logic_error("unknown box: " + name);
+  return *it->second;
+}
+
+void Simulator::registerBox(std::unique_ptr<Box> box) {
+  const std::string& name = box->name();
+  if (boxes_.count(name) != 0) throw std::logic_error("duplicate box: " + name);
+  busy_until_[name] = SimTime{};
+  boxes_.emplace(name, std::move(box));
+}
+
+ChannelId Simulator::connect(const std::string& a, const std::string& b,
+                             std::uint32_t tunnels) {
+  Box& box_a = box(a);
+  Box& box_b = box(b);
+  ChannelRecord rec;
+  rec.id = ChannelId{next_channel_id_++};
+  rec.tunnels = tunnels;
+  rec.boxA = a;
+  rec.boxB = b;
+  rec.slotsA = box_a.addChannelEnd(rec.id, tunnels, /*initiator=*/true, "", b);
+  rec.slotsB = box_b.addChannelEnd(rec.id, tunnels, /*initiator=*/false, "", a);
+  rec.aliveA = rec.aliveB = true;
+  for (std::uint32_t t = 0; t < tunnels; ++t) {
+    routes_[{a, rec.slotsA[t]}] = Route{rec.id, t, true};
+    routes_[{b, rec.slotsB[t]}] = Route{rec.id, t, false};
+  }
+  const ChannelId id = rec.id;
+  channels_.emplace(id, std::move(rec));
+  // Static configuration happens before time starts; drain any goal signals
+  // the hooks produced.
+  drain(box_a);
+  drain(box_b);
+  return id;
+}
+
+void Simulator::inject(const std::string& box_name, std::function<void(Box&)> fn) {
+  Box& target = box(box_name);
+  loop_.schedule(SimDuration{0},
+                 [this, &target, fn = std::move(fn)]() mutable {
+                   stimulate(target, [&target, fn = std::move(fn)]() { fn(target); });
+                 });
+}
+
+bool Simulator::run(SimDuration horizon) { return loop_.runUntilIdle(horizon); }
+
+void Simulator::runFor(SimDuration d) { loop_.runUntil(loop_.now() + d); }
+
+void Simulator::stimulate(Box& box, std::function<void()> fn) {
+  // Serialize on the box: processing starts when the box frees up and takes
+  // c; outputs appear at completion.
+  SimTime& busy = busy_until_[box.name()];
+  const SimTime start = loop_.now() < busy ? busy : loop_.now();
+  const SimTime done = start + timing_.processing;
+  busy = done;
+  loop_.scheduleAt(done, [this, &box, fn = std::move(fn)]() {
+    fn();
+    drain(box);
+  });
+}
+
+void Simulator::drain(Box& box) {
+  // Processing outputs can trigger same-box hooks that enqueue more output
+  // (e.g. onChannelUp when the box creates a channel); loop to fixpoint.
+  for (int guard = 0; guard < 64; ++guard) {
+    Box::Output out = box.drainOutput();
+    if (out.empty()) return;
+    processOutput(box, std::move(out));
+  }
+  log::warn("sim", "box ", box.name(), " output did not quiesce");
+}
+
+void Simulator::processOutput(Box& sender, Box::Output&& out) {
+  const std::string from = sender.name();
+
+  for (auto& item : out.tunnel) {
+    const Route route = routeOf(sender, item.slot);
+    ChannelRecord& rec = record(route.channel);
+    const std::string& to = route.from_side_a ? rec.boxB : rec.boxA;
+    const SimDuration latency = timing_.sampleNetwork(rng_);
+    loop_.schedule(latency, [this, to, channel = route.channel,
+                             tunnel = route.tunnel, from,
+                             signal = std::move(item.signal)]() mutable {
+      deliverTunnelSignal(to, channel, tunnel, from, std::move(signal));
+    });
+  }
+
+  for (auto& [channel_id, meta] : out.meta) {
+    auto it = channels_.find(channel_id);
+    if (it == channels_.end()) continue;
+    ChannelRecord& rec = it->second;
+    const bool from_a = rec.boxA == from;
+    const std::string to = from_a ? rec.boxB : rec.boxA;
+    loop_.schedule(timing_.sampleNetwork(rng_),
+                   [this, to, channel_id, meta = std::move(meta)]() {
+                     auto cit = channels_.find(channel_id);
+                     if (cit == channels_.end()) return;
+                     Box& target = box(to);
+                     stimulate(target, [&target, channel_id, meta]() {
+                       target.deliverMeta(channel_id, meta);
+                     });
+                   });
+  }
+
+  for (auto& timer : out.timers) {
+    loop_.schedule(timer.delay, [this, from, tag = std::move(timer.tag)]() {
+      auto it = boxes_.find(from);
+      if (it == boxes_.end()) return;
+      Box& target = *it->second;
+      stimulate(target, [&target, tag]() { target.fireTimer(tag); });
+    });
+  }
+
+  for (auto& request : out.channelRequests) {
+    auto target_it = boxes_.find(request.target);
+    if (target_it == boxes_.end()) {
+      log::warn("sim", "channel request to unknown box ", request.target);
+      continue;
+    }
+    ChannelRecord rec;
+    rec.id = ChannelId{next_channel_id_++};
+    rec.tunnels = request.tunnels;
+    rec.boxA = from;
+    rec.boxB = request.target;
+    rec.slotsA = sender.addChannelEnd(rec.id, rec.tunnels, /*initiator=*/true,
+                                      request.tag, request.target);
+    rec.aliveA = true;
+    for (std::uint32_t t = 0; t < rec.tunnels; ++t) {
+      routes_[{from, rec.slotsA[t]}] = Route{rec.id, t, true};
+    }
+    const ChannelId id = rec.id;
+    channels_.emplace(id, std::move(rec));
+    // The far end materializes one network latency later (setup meta). The
+    // transport-level end registration is synchronous so that signals in
+    // flight right behind the setup find the slots; the callee's feature
+    // reaction to the new channel is charged one processing cost.
+    loop_.schedule(timing_.sampleNetwork(rng_), [this, id, from]() {
+      auto cit = channels_.find(id);
+      if (cit == channels_.end() || !cit->second.aliveA) return;
+      ChannelRecord& r = cit->second;
+      Box& callee = box(r.boxB);
+      r.slotsB = callee.addChannelEnd(id, r.tunnels, /*initiator=*/false, "", from);
+      r.aliveB = true;
+      for (std::uint32_t t = 0; t < r.tunnels; ++t) {
+        routes_[{callee.name(), r.slotsB[t]}] = Route{id, t, false};
+      }
+      stimulate(callee, []() {});  // drain hook outputs after processing cost
+    });
+  }
+
+  for (ChannelId id : out.teardowns) {
+    auto it = channels_.find(id);
+    if (it == channels_.end()) continue;
+    ChannelRecord& rec = it->second;
+    const bool from_a = rec.boxA == from;
+    (from_a ? rec.aliveA : rec.aliveB) = false;
+    for (SlotId s : (from_a ? rec.slotsA : rec.slotsB)) {
+      routes_.erase({from, s});
+    }
+    const std::string to = from_a ? rec.boxB : rec.boxA;
+    const bool peer_alive = from_a ? rec.aliveB : rec.aliveA;
+    if (peer_alive) {
+      loop_.schedule(timing_.sampleNetwork(rng_), [this, id, to]() {
+        auto cit = channels_.find(id);
+        if (cit == channels_.end()) return;
+        Box& target = box(to);
+        stimulate(target, [this, &target, id, to]() {
+          target.deliverMeta(id, MetaSignal{MetaKind::teardown, "", ""});
+          auto cit2 = channels_.find(id);
+          if (cit2 != channels_.end()) {
+            ChannelRecord& r = cit2->second;
+            const bool was_a = r.boxA == to;
+            (was_a ? r.aliveA : r.aliveB) = false;
+            for (SlotId s : (was_a ? r.slotsA : r.slotsB)) routes_.erase({to, s});
+            if (!r.aliveA && !r.aliveB) channels_.erase(cit2);
+          }
+        });
+      });
+    } else {
+      channels_.erase(it);
+    }
+  }
+}
+
+void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel,
+                                    std::uint32_t tunnel,
+                                    const std::string& from_box, Signal signal) {
+  auto cit = channels_.find(channel);
+  if (cit == channels_.end()) return;  // torn down while in flight
+  ChannelRecord& rec = cit->second;
+  const bool to_a = rec.boxA == to_box;
+  if ((to_a && !rec.aliveA) || (!to_a && !rec.aliveB)) return;
+  const auto& slots = to_a ? rec.slotsA : rec.slotsB;
+  if (tunnel >= slots.size()) return;
+  const SlotId slot = slots[tunnel];
+  Box& target = box(to_box);
+  ++signals_delivered_;
+  if (onSignalDelivered) {
+    onSignalDelivered(from_box, to_box, signal, loop_.now());
+  }
+  stimulate(target, [&target, slot, signal = std::move(signal)]() {
+    target.deliverTunnel(slot, signal);
+  });
+}
+
+Simulator::Route Simulator::routeOf(const Box& box, SlotId slot) const {
+  auto it = routes_.find({box.name(), slot});
+  if (it == routes_.end()) {
+    throw std::logic_error("no route for slot on box " + box.name());
+  }
+  return it->second;
+}
+
+Simulator::ChannelRecord& Simulator::record(ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) throw std::logic_error("unknown channel");
+  return it->second;
+}
+
+}  // namespace cmc

@@ -1,0 +1,126 @@
+// Simulator: hosts boxes, carries their signaling channels, and charges the
+// paper's timing model (Section VIII-C).
+//
+// Every stimulus processed by a box — a tunnel signal, a meta-signal, a
+// timer, an injected user action — costs the box `c` (TimingModel::
+// processing); boxes are serial servers, so stimuli queue when they arrive
+// faster than the box computes. Every signal put on a channel takes `n`
+// (TimingModel::network) to reach the peer box. Outputs a box produces
+// while processing a stimulus are emitted at the stimulus's completion
+// time, which is exactly the accounting behind the paper's p*n + (p+1)*c
+// latency law.
+//
+// The simulator also resolves ChannelRequests (configuration/routing being
+// outside the paper's scope, boxes address each other by name) and paces
+// openslot retries through box timers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/box.hpp"
+#include "media/network.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/timing.hpp"
+
+namespace cmc {
+
+class Simulator {
+ public:
+  explicit Simulator(TimingModel timing = TimingModel::paperDefaults(),
+                     std::uint64_t seed = 1);
+
+  // Construct and register a box. The box's name must be unique; boxes
+  // address channel requests to each other by name.
+  template <typename B, typename... Args>
+  B& addBox(Args&&... args) {
+    auto box = std::make_unique<B>(BoxId{next_box_id_++}, std::forward<Args>(args)...);
+    B& ref = *box;
+    registerBox(std::move(box));
+    return ref;
+  }
+
+  [[nodiscard]] Box& box(const std::string& name);
+  [[nodiscard]] bool hasBox(const std::string& name) const noexcept {
+    return boxes_.count(name) != 0;
+  }
+
+  // Statically connect two boxes with a signaling channel of `tunnels`
+  // tunnels (both ends exist immediately; `a` is the initiator side).
+  ChannelId connect(const std::string& a, const std::string& b,
+                    std::uint32_t tunnels = 1);
+
+  // Run `fn` on a named box as a user stimulus (charges processing cost c).
+  void inject(const std::string& box_name, std::function<void(Box&)> fn);
+
+  // Advance the simulation until idle (or the horizon). Returns true if the
+  // event queue drained.
+  bool run(SimDuration horizon = std::chrono::seconds(600));
+  // Advance exactly `d` of simulated time, then stop.
+  void runFor(SimDuration d);
+
+  [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  // The media plane sharing this simulation's clock. Owned here so it
+  // outlives the boxes whose media endpoints attach to it.
+  [[nodiscard]] MediaNetwork& mediaNetwork() noexcept { return media_net_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+
+  [[nodiscard]] std::uint64_t signalsDelivered() const noexcept {
+    return signals_delivered_;
+  }
+
+  // Hook invoked on every tunnel-signal delivery (tracing/metrics).
+  std::function<void(const std::string& from, const std::string& to,
+                     const Signal&, SimTime)>
+      onSignalDelivered;
+
+ private:
+  struct ChannelRecord {
+    ChannelId id;
+    std::uint32_t tunnels = 1;
+    std::string boxA;  // initiator
+    std::string boxB;
+    std::vector<SlotId> slotsA;
+    std::vector<SlotId> slotsB;
+    bool aliveA = false;
+    bool aliveB = false;
+  };
+
+  void registerBox(std::unique_ptr<Box> box);
+  // Run `fn` as a stimulus on `box` now: serialize on the box (busy time),
+  // charge c, then execute and drain outputs.
+  void stimulate(Box& box, std::function<void()> fn);
+  void drain(Box& box);
+  void processOutput(Box& box, Box::Output&& out);
+  void deliverTunnelSignal(const std::string& to_box, ChannelId channel,
+                           std::uint32_t tunnel, const std::string& from_box,
+                           Signal signal);
+
+  struct Route {
+    ChannelId channel;
+    std::uint32_t tunnel;
+    bool from_side_a;
+  };
+  [[nodiscard]] Route routeOf(const Box& box, SlotId slot) const;
+  [[nodiscard]] ChannelRecord& record(ChannelId id);
+
+  EventLoop loop_;
+  MediaNetwork media_net_{loop_};  // before boxes_: endpoints detach on box death
+  TimingModel timing_;
+  Rng rng_;
+  std::uint64_t next_box_id_ = 1;
+  std::uint64_t next_channel_id_ = 1;
+  std::map<std::string, std::unique_ptr<Box>> boxes_;
+  std::map<ChannelId, ChannelRecord> channels_;
+  // (box name, slot) -> route, maintained as ends come and go.
+  std::map<std::pair<std::string, SlotId>, Route> routes_;
+  std::map<std::string, SimTime> busy_until_;
+  std::uint64_t signals_delivered_ = 0;
+};
+
+}  // namespace cmc

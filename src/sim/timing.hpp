@@ -1,0 +1,36 @@
+// Timing model for the performance analysis (paper Section VIII-C).
+//
+// The paper measures latency in terms of two constants:
+//   n — average time for the network/server infrastructure to accept a
+//       signal and deliver it to its destination box (paper: 34 ms measured
+//       on a typical carrier network with multiple geographic sites);
+//   c — average time for a server to read a stimulus from an input queue
+//       and compute the next signal to send (paper: 20 ms typical).
+//
+// With these, the paper derives: media-setup latency after the last
+// flowlink in a path initializes = p*n + (p+1)*c, where p is the number of
+// hops between that flowlink and its farther endpoint, and the SIP 3pcc
+// baseline costs 10n + 11c + d with glare (E[d] = 3 s) or 8n + 7c without.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace cmc {
+
+struct TimingModel {
+  SimDuration network{34'000};     // n: one-way signal delivery
+  SimDuration processing{20'000};  // c: per-stimulus box compute time
+  double network_jitter = 0.0;     // +/- fraction of n, uniform
+
+  [[nodiscard]] static TimingModel paperDefaults() noexcept { return {}; }
+
+  [[nodiscard]] SimDuration sampleNetwork(Rng& rng) const {
+    if (network_jitter <= 0.0) return network;
+    const double factor = 1.0 + rng.uniform(-network_jitter, network_jitter);
+    return SimDuration{static_cast<SimDuration::rep>(
+        static_cast<double>(network.count()) * factor)};
+  }
+};
+
+}  // namespace cmc

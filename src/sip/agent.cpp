@@ -1,0 +1,167 @@
+#include "sip/agent.hpp"
+
+#include <algorithm>
+
+namespace cmc::sip {
+
+std::string_view toString(Method method) noexcept {
+  switch (method) {
+    case Method::invite: return "INVITE";
+    case Method::ack: return "ACK";
+    case Method::bye: return "BYE";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const SipMessage& m) {
+  if (m.is_request) {
+    os << toString(m.request.method) << " d" << m.request.dialog << " cseq="
+       << m.request.cseq;
+    if (m.request.body) {
+      os << (m.request.body->kind == Sdp::Kind::offer ? " offer" : " answer");
+    }
+  } else {
+    os << m.response.status << " d" << m.response.dialog << " cseq="
+       << m.response.cseq;
+    if (m.response.body) {
+      os << (m.response.body->kind == Sdp::Kind::offer ? " offer" : " answer");
+    }
+  }
+  return os;
+}
+
+Sdp SipUa::makeOffer() const {
+  Sdp sdp;
+  sdp.kind = Sdp::Kind::offer;
+  sdp.media.push_back(MediaLine{Medium::audio, addr_, codecs_});
+  return sdp;
+}
+
+Sdp SipUa::makeAnswer(const Sdp& offer) const {
+  // Negotiation: the answer is the subset of the offer's codecs that we can
+  // handle (paper Section IX-B).
+  Sdp sdp;
+  sdp.kind = Sdp::Kind::answer;
+  for (const MediaLine& line : offer.media) {
+    MediaLine mine;
+    mine.medium = line.medium;
+    mine.addr = addr_;
+    for (Codec c : line.codecs) {
+      if (std::find(codecs_.begin(), codecs_.end(), c) != codecs_.end()) {
+        mine.codecs.push_back(c);
+      }
+    }
+    sdp.media.push_back(std::move(mine));
+  }
+  return sdp;
+}
+
+void SipUa::completedNegotiation(const Sdp& remote_sdp) {
+  ++negotiations_;
+  // A dummy (no common real codec) exchange does not enable media.
+  for (const MediaLine& line : remote_sdp.media) {
+    for (Codec c : line.codecs) {
+      if (c != Codec::noMedia) {
+        media_ready_at_ = now();
+        return;
+      }
+    }
+  }
+}
+
+void SipUa::reinvite(std::uint64_t dialog) {
+  DialogState& state = dialogs_[dialog];
+  if (state.uac_pending) return;
+  state.uac_pending = true;
+  state.uac_cseq = ++state.cseq_out;
+  state.uac_sent_offer = true;
+  SipRequest request{Method::invite, dialog, state.uac_cseq, makeOffer()};
+  send(dialog, SipMessage::make(std::move(request)));
+}
+
+void SipUa::onMessage(const SipMessage& message) {
+  if (message.is_request) {
+    handleRequest(message.request);
+  } else {
+    handleResponse(message.response);
+  }
+}
+
+void SipUa::handleRequest(const SipRequest& request) {
+  DialogState& state = dialogs_[request.dialog];
+  switch (request.method) {
+    case Method::invite: {
+      if (state.uac_pending) {
+        // Glare: an invite transaction cannot overlap another on the same
+        // dialog; reject, the peer rejects ours symmetrically.
+        ++glares_;
+        send(request.dialog,
+             SipMessage::make(SipResponse{491, request.dialog, request.cseq,
+                                          std::nullopt}));
+        return;
+      }
+      state.awaiting_ack = true;
+      if (request.body) {
+        // Offerful INVITE: answer in the 200. We can transmit as soon as
+        // the answer is out.
+        Sdp answer = makeAnswer(*request.body);
+        const Sdp remote = *request.body;
+        send(request.dialog,
+             SipMessage::make(SipResponse{200, request.dialog, request.cseq,
+                                          std::move(answer)}));
+        state.ack_carries_answer = false;
+        completedNegotiation(remote);
+      } else {
+        // Offerless INVITE (3pcc solicitation): our 200 carries a fresh
+        // offer; the answer comes back in the ACK.
+        send(request.dialog,
+             SipMessage::make(SipResponse{200, request.dialog, request.cseq,
+                                          makeOffer()}));
+        state.ack_carries_answer = true;
+      }
+      return;
+    }
+    case Method::ack: {
+      state.awaiting_ack = false;
+      if (state.ack_carries_answer && request.body) {
+        completedNegotiation(*request.body);
+        state.ack_carries_answer = false;
+      }
+      return;
+    }
+    case Method::bye: {
+      send(request.dialog, SipMessage::make(SipResponse{
+                               200, request.dialog, request.cseq, std::nullopt}));
+      return;
+    }
+  }
+}
+
+void SipUa::handleResponse(const SipResponse& response) {
+  DialogState& state = dialogs_[response.dialog];
+  if (!state.uac_pending || response.cseq != state.uac_cseq) return;
+  if (response.status == 200) {
+    state.uac_pending = false;
+    // ACK completes the transaction; with an offerful INVITE the answer is
+    // in this 200.
+    send(response.dialog,
+         SipMessage::make(SipRequest{Method::ack, response.dialog,
+                                     response.cseq, std::nullopt}));
+    if (response.body) completedNegotiation(*response.body);
+    return;
+  }
+  if (response.status == 491) {
+    // Our INVITE lost a glare: acknowledge, back off a random period, retry.
+    state.uac_pending = false;
+    send(response.dialog,
+         SipMessage::make(SipRequest{Method::ack, response.dialog,
+                                     response.cseq, std::nullopt}));
+    const auto spread = static_cast<double>((retryMax - retryMin).count());
+    const SimDuration d = retryMin + SimDuration{static_cast<SimDuration::rep>(
+                                         spread * rng().uniform01())};
+    const std::uint64_t dialog = response.dialog;
+    setDelay(d, [this, dialog]() { reinvite(dialog); });
+  }
+}
+
+}  // namespace cmc::sip

@@ -1,0 +1,68 @@
+// SipUa: a SIP user agent (media endpoint) with transactional invite
+// handling, offer/answer, glare backoff, and 3pcc participation.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sip/network.hpp"
+
+namespace cmc::sip {
+
+class SipUa : public SipParty {
+ public:
+  SipUa(std::string name, SipNetwork& network, MediaAddress addr,
+        std::vector<Codec> codecs)
+      : SipParty(std::move(name), network),
+        addr_(addr),
+        codecs_(std::move(codecs)) {
+    network.registerParty(*this);
+  }
+
+  // Start a re-INVITE with a fresh offer on the dialog (retries after glare
+  // until it succeeds).
+  void reinvite(std::uint64_t dialog);
+
+  void onMessage(const SipMessage& message) override;
+
+  // When this endpoint last completed an offer/answer exchange that enables
+  // real media (noMedia dummy answers do not count).
+  [[nodiscard]] std::optional<SimTime> mediaReadyAt() const noexcept {
+    return media_ready_at_;
+  }
+  [[nodiscard]] int negotiationsCompleted() const noexcept {
+    return negotiations_;
+  }
+  [[nodiscard]] int glaresSeen() const noexcept { return glares_; }
+
+  // Glare backoff: uniform in [min, max]; paper assumes E[d] = 3 s.
+  SimDuration retryMin{2'100'000};
+  SimDuration retryMax{3'900'000};
+
+ private:
+  struct DialogState {
+    std::uint32_t cseq_out = 0;
+    // UAC: our pending INVITE, if any.
+    bool uac_pending = false;
+    std::uint32_t uac_cseq = 0;
+    bool uac_sent_offer = false;
+    // UAS: their INVITE we have answered with 200, awaiting ACK.
+    bool awaiting_ack = false;
+    bool ack_carries_answer = false;  // our 200 carried an offer
+  };
+
+  [[nodiscard]] Sdp makeOffer() const;
+  [[nodiscard]] Sdp makeAnswer(const Sdp& offer) const;
+  void completedNegotiation(const Sdp& remote_sdp);
+  void handleRequest(const SipRequest& request);
+  void handleResponse(const SipResponse& response);
+
+  MediaAddress addr_;
+  std::vector<Codec> codecs_;
+  std::map<std::uint64_t, DialogState> dialogs_;
+  std::optional<SimTime> media_ready_at_;
+  int negotiations_ = 0;
+  int glares_ = 0;
+};
+
+}  // namespace cmc::sip

@@ -1,0 +1,188 @@
+#include "sip/b2bua.hpp"
+
+namespace cmc::sip {
+
+namespace {
+
+Sdp dummyAnswer(const Sdp& offer) {
+  // Close a solicited transaction without enabling media: answer each line
+  // with noMedia.
+  Sdp sdp;
+  sdp.kind = Sdp::Kind::answer;
+  for (const MediaLine& line : offer.media) {
+    sdp.media.push_back(MediaLine{line.medium, MediaAddress{}, {Codec::noMedia}});
+  }
+  return sdp;
+}
+
+Sdp asAnswer(Sdp sdp) {
+  sdp.kind = Sdp::Kind::answer;
+  return sdp;
+}
+
+Sdp asOffer(Sdp sdp) {
+  sdp.kind = Sdp::Kind::offer;
+  return sdp;
+}
+
+}  // namespace
+
+void SipB2bua::relink(std::uint64_t solicit_dialog, std::uint64_t target_dialog) {
+  op_ = Relink{};
+  op_->solicit_dialog = solicit_dialog;
+  op_->target_dialog = target_dialog;
+  startSolicit();
+}
+
+void SipB2bua::startSolicit() {
+  op_->phase = Relink::Phase::soliciting;
+  op_->offer.reset();
+  DialogState& state = dialogs_[op_->solicit_dialog];
+  state.uac_pending = true;
+  state.uac_cseq = ++state.cseq_out;
+  // Offerless INVITE: solicit a fresh offer (answers cannot be re-used and
+  // offers are not supposed to be; Section IX-B).
+  send(op_->solicit_dialog,
+       SipMessage::make(SipRequest{Method::invite, op_->solicit_dialog,
+                                   state.uac_cseq, std::nullopt}));
+}
+
+void SipB2bua::onMessage(const SipMessage& message) {
+  if (message.is_request) {
+    handleRequest(message.request);
+  } else {
+    handleResponse(message.response);
+  }
+}
+
+void SipB2bua::handleRequest(const SipRequest& request) {
+  DialogState& state = dialogs_[request.dialog];
+  switch (request.method) {
+    case Method::invite: {
+      if (state.uac_pending) {
+        // Glare on this dialog.
+        ++glares_;
+        send(request.dialog,
+             SipMessage::make(SipResponse{491, request.dialog, request.cseq,
+                                          std::nullopt}));
+        return;
+      }
+      auto linked = linked_.find(request.dialog);
+      if (!request.body || linked == linked_.end()) {
+        // Nothing to splice it to; refuse politely.
+        send(request.dialog,
+             SipMessage::make(SipResponse{491, request.dialog, request.cseq,
+                                          std::nullopt}));
+        return;
+      }
+      // Transparent forwarding: replay the offer on the linked dialog.
+      state.uas_awaiting_ack = false;
+      forwarding_ = Forwarding{request.dialog, linked->second, request.cseq};
+      DialogState& out = dialogs_[linked->second];
+      out.uac_pending = true;
+      out.uac_cseq = ++out.cseq_out;
+      send(linked->second,
+           SipMessage::make(SipRequest{Method::invite, linked->second,
+                                       out.uac_cseq, asOffer(*request.body)}));
+      return;
+    }
+    case Method::ack: {
+      state.uas_awaiting_ack = false;
+      return;
+    }
+    case Method::bye: {
+      send(request.dialog, SipMessage::make(SipResponse{
+                               200, request.dialog, request.cseq, std::nullopt}));
+      return;
+    }
+  }
+}
+
+void SipB2bua::handleResponse(const SipResponse& response) {
+  DialogState& state = dialogs_[response.dialog];
+  if (!state.uac_pending || response.cseq != state.uac_cseq) return;
+
+  if (response.status == 200) {
+    state.uac_pending = false;
+    if (op_ && op_->phase == Relink::Phase::soliciting &&
+        response.dialog == op_->solicit_dialog) {
+      // Fresh offer arrived; hold the ACK until we have the answer (3pcc).
+      op_->offer = response.body;
+      op_->solicited_cseq = response.cseq;
+      op_->phase = Relink::Phase::offering;
+      DialogState& target = dialogs_[op_->target_dialog];
+      target.uac_pending = true;
+      target.uac_cseq = ++target.cseq_out;
+      send(op_->target_dialog,
+           SipMessage::make(SipRequest{Method::invite, op_->target_dialog,
+                                       target.uac_cseq, asOffer(*op_->offer)}));
+      return;
+    }
+    if (op_ && op_->phase == Relink::Phase::offering &&
+        response.dialog == op_->target_dialog) {
+      // Answer from the target side: complete both transactions.
+      send(op_->target_dialog,
+           SipMessage::make(SipRequest{Method::ack, op_->target_dialog,
+                                       response.cseq, std::nullopt}));
+      send(op_->solicit_dialog,
+           SipMessage::make(SipRequest{
+               Method::ack, op_->solicit_dialog, op_->solicited_cseq,
+               response.body ? std::optional<Sdp>(asAnswer(*response.body))
+                             : std::nullopt}));
+      op_->phase = Relink::Phase::done;
+      relink_done_at_ = now();
+      return;
+    }
+    if (forwarding_ && response.dialog == forwarding_->to_dialog) {
+      // Forwarded INVITE succeeded: ACK downstream, answer upstream.
+      send(forwarding_->to_dialog,
+           SipMessage::make(SipRequest{Method::ack, forwarding_->to_dialog,
+                                       response.cseq, std::nullopt}));
+      DialogState& from = dialogs_[forwarding_->from_dialog];
+      from.uas_awaiting_ack = true;
+      send(forwarding_->from_dialog,
+           SipMessage::make(SipResponse{
+               200, forwarding_->from_dialog, forwarding_->from_cseq,
+               response.body ? std::optional<Sdp>(asAnswer(*response.body))
+                             : std::nullopt}));
+      forwarding_.reset();
+      return;
+    }
+    return;
+  }
+
+  if (response.status == 491) {
+    state.uac_pending = false;
+    send(response.dialog,
+         SipMessage::make(SipRequest{Method::ack, response.dialog,
+                                     response.cseq, std::nullopt}));
+    if (op_ && op_->phase == Relink::Phase::offering &&
+        response.dialog == op_->target_dialog) {
+      // Glare during the relink: close the solicited side with a dummy
+      // answer, back off, retry the entire operation (Fig. 14).
+      send(op_->solicit_dialog,
+           SipMessage::make(SipRequest{Method::ack, op_->solicit_dialog,
+                                       op_->solicited_cseq,
+                                       dummyAnswer(*op_->offer)}));
+      op_->phase = Relink::Phase::backoff;
+      ++retries_;
+      const auto spread = static_cast<double>((retryMax - retryMin).count());
+      const SimDuration d =
+          retryMin + SimDuration{static_cast<SimDuration::rep>(
+                         spread * rng().uniform01())};
+      setDelay(d, [this]() {
+        if (op_ && op_->phase == Relink::Phase::backoff) startSolicit();
+      });
+      return;
+    }
+    if (forwarding_ && response.dialog == forwarding_->to_dialog) {
+      // Could not forward; bounce the failure upstream.
+      send(forwarding_->from_dialog,
+           SipMessage::make(SipResponse{491, forwarding_->from_dialog,
+                                        forwarding_->from_cseq, std::nullopt}));
+      forwarding_.reset();
+    }
+  }
+}
+
+}  // namespace cmc::sip

@@ -1,0 +1,99 @@
+// SipB2bua: a SIP application server doing third-party call control
+// (RFC 3725 style) — the baseline the paper compares against in Section
+// IX-B and Fig. 14.
+//
+// The flowlink-equivalent operation is `relink(solicit_dialog,
+// target_dialog)`: splice the endpoint behind `solicit_dialog` to whatever
+// is behind `target_dialog`. Because SIP answers are relative and offers
+// must be fresh, the server cannot use cached state; it must:
+//
+//   1. send an offerless INVITE on solicit_dialog (solicit a fresh offer),
+//   2. receive 200(offer), forward it in an INVITE on target_dialog,
+//   3. receive 200(answer), ACK it, and close the solicited transaction
+//      with ACK(answer) on solicit_dialog.
+//
+// If step 2's INVITE glares with a peer's INVITE (both servers relinking
+// the shared dialog at once, Fig. 14), both transactions fail: each server
+// ACKs the 491, closes its solicited side with a dummy answer, waits a
+// random period, and retries the entire operation.
+//
+// When it is not relinking, the B2BUA plays the transparent forwarding
+// role: an INVITE(offer) arriving on one dialog is forwarded on the linked
+// dialog, and the answer travels back in the 200.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sip/network.hpp"
+
+namespace cmc::sip {
+
+class SipB2bua : public SipParty {
+ public:
+  SipB2bua(std::string name, SipNetwork& network)
+      : SipParty(std::move(name), network) {
+    network.registerParty(*this);
+  }
+
+  // Transparent forwarding association between two dialogs.
+  void linkDialogs(std::uint64_t a, std::uint64_t b) {
+    linked_[a] = b;
+    linked_[b] = a;
+  }
+
+  // The 3pcc relink operation (see file comment).
+  void relink(std::uint64_t solicit_dialog, std::uint64_t target_dialog);
+
+  void onMessage(const SipMessage& message) override;
+
+  [[nodiscard]] bool relinkDone() const noexcept {
+    return op_ && op_->phase == Relink::Phase::done;
+  }
+  [[nodiscard]] std::optional<SimTime> relinkDoneAt() const noexcept {
+    return relink_done_at_;
+  }
+  [[nodiscard]] int glaresSeen() const noexcept { return glares_; }
+  [[nodiscard]] int retries() const noexcept { return retries_; }
+
+  // Glare backoff (uniform); paper assumes E[d] = 3 s.
+  SimDuration retryMin{2'100'000};
+  SimDuration retryMax{3'900'000};
+
+ private:
+  struct DialogState {
+    std::uint32_t cseq_out = 0;
+    bool uac_pending = false;
+    std::uint32_t uac_cseq = 0;
+    bool uas_awaiting_ack = false;
+  };
+
+  struct Relink {
+    enum class Phase { soliciting, offering, backoff, done };
+    std::uint64_t solicit_dialog = 0;
+    std::uint64_t target_dialog = 0;
+    Phase phase = Phase::soliciting;
+    std::optional<Sdp> offer;          // fetched from the solicited side
+    std::uint32_t solicited_cseq = 0;  // transaction to close with ACK
+  };
+
+  struct Forwarding {
+    std::uint64_t from_dialog = 0;  // where the INVITE arrived (we are UAS)
+    std::uint64_t to_dialog = 0;    // where we forwarded it (we are UAC)
+    std::uint32_t from_cseq = 0;
+  };
+
+  void startSolicit();
+  void handleRequest(const SipRequest& request);
+  void handleResponse(const SipResponse& response);
+
+  std::map<std::uint64_t, DialogState> dialogs_;
+  std::map<std::uint64_t, std::uint64_t> linked_;
+  std::optional<Relink> op_;
+  std::optional<Forwarding> forwarding_;
+  std::optional<SimTime> relink_done_at_;
+  int glares_ = 0;
+  int retries_ = 0;
+};
+
+}  // namespace cmc::sip

@@ -1,0 +1,88 @@
+// Minimal SIP message model — exactly the subset paper Section IX-B
+// compares against.
+//
+// Three properties of SIP matter for the comparison, and all three are
+// modeled faithfully:
+//   * transactional signaling: a media channel is opened/modified by an
+//     INVITE / 200-success / ACK transaction; overlapping invite
+//     transactions on one dialog are *glare* and both fail (491), each
+//     initiator backing off for a random period before retrying;
+//   * offer/answer negotiation: the initiator's offer lists codecs, the
+//     responder's answer is a subset; an offerless INVITE solicits a fresh
+//     offer in the 200, answered in the ACK (the RFC 3725 3pcc flow);
+//   * media bundling: one SDP body describes all media channels of the
+//     dialog at once (the body holds a list of media lines).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "codec/descriptor.hpp"
+
+namespace cmc::sip {
+
+// One m-line: a media stream description. SIP bundles all of a dialog's
+// streams into one body.
+struct MediaLine {
+  Medium medium = Medium::audio;
+  MediaAddress addr;
+  std::vector<Codec> codecs;  // offer: capabilities; answer: accepted subset
+
+  friend bool operator==(const MediaLine&, const MediaLine&) = default;
+};
+
+struct Sdp {
+  enum class Kind : std::uint8_t { offer, answer };
+  Kind kind = Kind::offer;
+  std::vector<MediaLine> media;
+
+  friend bool operator==(const Sdp&, const Sdp&) = default;
+};
+
+enum class Method : std::uint8_t { invite = 0, ack = 1, bye = 2 };
+
+[[nodiscard]] std::string_view toString(Method method) noexcept;
+
+struct SipRequest {
+  Method method = Method::invite;
+  std::uint64_t dialog = 0;
+  std::uint32_t cseq = 0;
+  std::optional<Sdp> body;  // INVITE: offer or absent (solicit); ACK: answer or absent
+};
+
+struct SipResponse {
+  int status = 200;  // 200 success; 491 request pending (glare)
+  std::uint64_t dialog = 0;
+  std::uint32_t cseq = 0;
+  std::optional<Sdp> body;  // 200 to offerful INVITE: answer; to offerless: offer
+};
+
+struct SipMessage {
+  bool is_request = true;
+  SipRequest request;
+  SipResponse response;
+
+  [[nodiscard]] std::uint64_t dialog() const noexcept {
+    return is_request ? request.dialog : response.dialog;
+  }
+
+  [[nodiscard]] static SipMessage make(SipRequest r) {
+    SipMessage m;
+    m.is_request = true;
+    m.request = std::move(r);
+    return m;
+  }
+  [[nodiscard]] static SipMessage make(SipResponse r) {
+    SipMessage m;
+    m.is_request = false;
+    m.response = std::move(r);
+    return m;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const SipMessage& m);
+
+}  // namespace cmc::sip

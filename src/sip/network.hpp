@@ -1,0 +1,111 @@
+// SIP transport: the same timing model as the compositional protocol's
+// simulator (network latency n, per-stimulus processing cost c, serial
+// boxes), so the two protocols' latencies are compared apples to apples.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/event_loop.hpp"
+#include "sim/timing.hpp"
+#include "sip/message.hpp"
+
+namespace cmc::sip {
+
+class SipNetwork;
+
+class SipParty {
+ public:
+  SipParty(std::string name, SipNetwork& network)
+      : name_(std::move(name)), network_(network) {}
+  virtual ~SipParty() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  virtual void onMessage(const SipMessage& message) = 0;
+
+ protected:
+  void send(std::uint64_t dialog, SipMessage message);
+  void setDelay(SimDuration delay, std::function<void()> fn);
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] Rng& rng();
+
+ private:
+  std::string name_;
+  SipNetwork& network_;
+};
+
+// Routes messages along *dialogs*: a dialog connects exactly two parties.
+class SipNetwork {
+ public:
+  explicit SipNetwork(EventLoop& loop,
+                      TimingModel timing = TimingModel::paperDefaults(),
+                      std::uint64_t seed = 1)
+      : loop_(loop), timing_(timing), rng_(seed) {}
+
+  void registerParty(SipParty& party) { parties_[party.name()] = &party; }
+
+  std::uint64_t createDialog(const std::string& a, const std::string& b) {
+    const std::uint64_t id = next_dialog_++;
+    dialogs_[id] = {a, b};
+    return id;
+  }
+
+  void send(const std::string& from, std::uint64_t dialog, SipMessage message) {
+    auto it = dialogs_.find(dialog);
+    if (it == dialogs_.end()) return;
+    const std::string to = it->second.first == from ? it->second.second
+                                                    : it->second.first;
+    ++messages_;
+    loop_.schedule(timing_.sampleNetwork(rng_),
+                   [this, to, message = std::move(message)]() {
+                     stimulate(to, message);
+                   });
+  }
+
+  void schedule(SimDuration delay, std::function<void()> fn) {
+    loop_.schedule(delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t messageCount() const noexcept { return messages_; }
+
+ private:
+  void stimulate(const std::string& to, SipMessage message) {
+    auto it = parties_.find(to);
+    if (it == parties_.end()) return;
+    SimTime& busy = busy_until_[to];
+    const SimTime start = loop_.now() < busy ? busy : loop_.now();
+    const SimTime done = start + timing_.processing;
+    busy = done;
+    loop_.scheduleAt(done, [party = it->second, message = std::move(message)]() {
+      party->onMessage(message);
+    });
+  }
+
+  EventLoop& loop_;
+  TimingModel timing_;
+  Rng rng_;
+  std::uint64_t next_dialog_ = 1;
+  std::map<std::string, SipParty*> parties_;
+  std::map<std::uint64_t, std::pair<std::string, std::string>> dialogs_;
+  std::map<std::string, SimTime> busy_until_;
+  std::uint64_t messages_ = 0;
+};
+
+inline void SipParty::send(std::uint64_t dialog, SipMessage message) {
+  network_.send(name_, dialog, std::move(message));
+}
+
+inline void SipParty::setDelay(SimDuration delay, std::function<void()> fn) {
+  network_.schedule(delay, std::move(fn));
+}
+
+inline SimTime SipParty::now() const { return network_.now(); }
+
+inline Rng& SipParty::rng() { return network_.rng(); }
+
+}  // namespace cmc::sip

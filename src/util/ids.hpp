@@ -1,0 +1,83 @@
+// Strong identifier types used throughout the library.
+//
+// Every entity in the descriptive model (Section III of the paper) gets its
+// own id type so that a TunnelId cannot be passed where a SlotId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace cmc {
+
+// CRTP-free strongly typed integer id. `Tag` makes distinct instantiations
+// incompatible; `Id` is regular, ordered, hashable, and streamable.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(std::uint64_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) noexcept { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) noexcept { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct BoxTag        { static constexpr const char* prefix() { return "box:"; } };
+struct ChannelTag    { static constexpr const char* prefix() { return "chan:"; } };
+struct TunnelTag     { static constexpr const char* prefix() { return "tun:"; } };
+struct SlotTag       { static constexpr const char* prefix() { return "slot:"; } };
+struct EndpointTag   { static constexpr const char* prefix() { return "ep:"; } };
+struct DescriptorTag { static constexpr const char* prefix() { return "desc:"; } };
+struct GoalTag       { static constexpr const char* prefix() { return "goal:"; } };
+
+// A box is a peer module involved in media control (physical or virtual).
+using BoxId = Id<BoxTag>;
+// A signaling channel: two-way, FIFO, reliable (paper Section III-A).
+using ChannelId = Id<ChannelTag>;
+// A tunnel: a static partition of a signaling channel controlling one media
+// channel. Identified globally; the per-channel index is separate.
+using TunnelId = Id<TunnelTag>;
+// A slot: the endpoint of a tunnel at a box; each slot is a protocol endpoint.
+using SlotId = Id<SlotTag>;
+// A media endpoint (source or sink of a media stream).
+using EndpointId = Id<EndpointTag>;
+// Identity of a descriptor: needed so a selector can name the descriptor it
+// answers, and so flowlinks can discard obsolete selectors (Section VII).
+using DescriptorId = Id<DescriptorTag>;
+// Identity of a goal object instance within a box.
+using GoalId = Id<GoalTag>;
+
+// Simple monotonically increasing id allocator.
+template <typename IdT>
+class IdAllocator {
+ public:
+  IdT next() noexcept { return IdT{next_++}; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace cmc
+
+namespace std {
+template <typename Tag>
+struct hash<cmc::Id<Tag>> {
+  size_t operator()(cmc::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace cmc::log {
+
+namespace {
+std::atomic<Level> g_level{Level::none};
+std::atomic<std::ostream*> g_sink{&std::clog};
+std::mutex g_mutex;
+
+constexpr std::string_view levelName(Level level) noexcept {
+  switch (level) {
+    case Level::error: return "ERROR";
+    case Level::warn: return "WARN ";
+    case Level::info: return "INFO ";
+    case Level::debug: return "DEBUG";
+    case Level::none: break;
+  }
+  return "NONE ";
+}
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void setLevel(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+void setSink(std::ostream* sink) noexcept {
+  g_sink.store(sink != nullptr ? sink : &std::clog, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& os = *g_sink.load(std::memory_order_relaxed);
+  os << '[' << levelName(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace cmc::log

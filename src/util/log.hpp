@@ -1,0 +1,54 @@
+// Minimal leveled logging.
+//
+// Logging defaults to off (Level::none) so tests and benchmarks stay quiet;
+// examples turn on Level::info to narrate scenarios. The logger is a
+// process-wide sink guarded for concurrent use by the TCP transport threads.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace cmc::log {
+
+enum class Level { none = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+// Process-wide verbosity. Reads/writes are racy-but-benign (enum load), but
+// we keep it simple: set it once at startup.
+Level level() noexcept;
+void setLevel(Level level) noexcept;
+
+// Sink defaults to std::clog; tests may redirect.
+void setSink(std::ostream* sink) noexcept;
+
+void write(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, std::string_view component, const Args&... args) {
+  if (lvl > level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  write(lvl, component, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(std::string_view component, const Args&... args) {
+  detail::emit(Level::error, component, args...);
+}
+template <typename... Args>
+void warn(std::string_view component, const Args&... args) {
+  detail::emit(Level::warn, component, args...);
+}
+template <typename... Args>
+void info(std::string_view component, const Args&... args) {
+  detail::emit(Level::info, component, args...);
+}
+template <typename... Args>
+void debug(std::string_view component, const Args&... args) {
+  detail::emit(Level::debug, component, args...);
+}
+
+}  // namespace cmc::log

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that simulations and
+// property tests are reproducible from a seed. The generator is
+// xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cmc {
+
+// splitmix64: used for seeding; also a decent standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection-free for our purposes: modulo bias is
+    // negligible for bounds far below 2^64, which is all we use.
+    return (*this)() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  [[nodiscard]] constexpr bool chance(double probability) noexcept {
+    return uniform01() < probability;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace cmc

@@ -1,0 +1,60 @@
+// Simulated-time types.
+//
+// The discrete-event simulator (src/sim) advances a virtual clock; all
+// latency parameters of the paper's performance model (Section VIII-C) are
+// expressed in these units. We use integral microseconds: fine enough for
+// millisecond-scale signaling latencies, and exact (no floating-point drift
+// in event ordering).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace cmc {
+
+using SimDuration = std::chrono::microseconds;
+
+// A point in simulated time, measured from simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(SimDuration since_start) noexcept : t_(since_start) {}
+
+  [[nodiscard]] constexpr SimDuration sinceStart() const noexcept { return t_; }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return std::chrono::duration<double, std::milli>(t_).count();
+  }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) noexcept {
+    return SimTime{t.t_ + d};
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) noexcept {
+    return a.t_ - b.t_;
+  }
+  friend constexpr bool operator==(SimTime a, SimTime b) noexcept { return a.t_ == b.t_; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) noexcept { return a.t_ != b.t_; }
+  friend constexpr bool operator<(SimTime a, SimTime b) noexcept { return a.t_ < b.t_; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) noexcept { return a.t_ <= b.t_; }
+  friend constexpr bool operator>(SimTime a, SimTime b) noexcept { return a.t_ > b.t_; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) noexcept { return a.t_ >= b.t_; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.millis() << "ms";
+  }
+
+ private:
+  SimDuration t_{0};
+};
+
+namespace literals {
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return std::chrono::duration_cast<SimDuration>(std::chrono::milliseconds(v));
+}
+constexpr SimDuration operator""_us(unsigned long long v) { return SimDuration(v); }
+constexpr SimDuration operator""_s(unsigned long long v) {
+  return std::chrono::duration_cast<SimDuration>(std::chrono::seconds(v));
+}
+}  // namespace literals
+
+}  // namespace cmc

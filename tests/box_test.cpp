@@ -1,0 +1,164 @@
+// Unit tests for the Box runtime (paper Section VII): channel-end wiring,
+// the Maps object (goal bindings), output draining, retry pacing, and
+// teardown behavior — driven directly, without the simulator.
+#include <gtest/gtest.h>
+
+#include "core/box.hpp"
+
+namespace cmc {
+namespace {
+
+MediaIntent phone() {
+  return MediaIntent::endpoint(MediaAddress::parse("10.0.0.1", 5000),
+                               {Codec::g711u});
+}
+
+Descriptor remote(std::uint64_t id) {
+  const Codec codecs[] = {Codec::g711u};
+  return makeDescriptor(DescriptorId{id}, MediaAddress::parse("10.0.9.9", 5900),
+                        codecs, false);
+}
+
+class BoxFixture : public ::testing::Test {
+ protected:
+  Box box_{BoxId{1}, "box"};
+};
+
+TEST_F(BoxFixture, AddChannelEndCreatesSlots) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 3, true, "", "peer");
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_TRUE(box_.hasChannel(ChannelId{1}));
+  EXPECT_EQ(box_.slotsOf(ChannelId{1}), slots);
+  EXPECT_EQ(box_.channelOf(slots[1]), ChannelId{1});
+  for (SlotId s : slots) {
+    EXPECT_EQ(box_.slotState(s), ProtocolState::closed);
+    EXPECT_TRUE(box_.slot(s).channelInitiator());
+  }
+}
+
+TEST_F(BoxFixture, SetGoalAttachesAndEmits) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, true, "", "peer");
+  box_.setGoal(slots[0], OpenSlotGoal{Medium::audio, phone(), DescriptorFactory{1}});
+  auto out = box_.drainOutput();
+  ASSERT_EQ(out.tunnel.size(), 1u);
+  EXPECT_EQ(kindOf(out.tunnel[0].signal), SignalKind::open);
+  EXPECT_EQ(box_.goalKind(slots[0]), GoalKind::openSlot);
+}
+
+TEST_F(BoxFixture, LinkSlotsSamePairIsIdempotent) {
+  auto s1 = box_.addChannelEnd(ChannelId{1}, 1, true, "", "x");
+  auto s2 = box_.addChannelEnd(ChannelId{2}, 1, true, "", "y");
+  box_.linkSlots(s1[0], s2[0]);
+  EXPECT_EQ(box_.goalKind(s1[0]), GoalKind::flowLink);
+  // Re-linking the same (even reversed) pair must keep the same object:
+  // no goal churn, no new signals.
+  (void)box_.drainOutput();
+  box_.linkSlots(s2[0], s1[0]);
+  EXPECT_TRUE(box_.drainOutput().empty());
+}
+
+TEST_F(BoxFixture, RelinkDifferentPairReplaces) {
+  auto s1 = box_.addChannelEnd(ChannelId{1}, 1, true, "", "x");
+  auto s2 = box_.addChannelEnd(ChannelId{2}, 1, true, "", "y");
+  auto s3 = box_.addChannelEnd(ChannelId{3}, 1, true, "", "z");
+  box_.linkSlots(s1[0], s2[0]);
+  box_.linkSlots(s1[0], s3[0]);
+  EXPECT_EQ(box_.goalKind(s1[0]), GoalKind::flowLink);
+  EXPECT_EQ(box_.goalKind(s3[0]), GoalKind::flowLink);
+  // s2 lost its goal when the old link dissolved.
+  EXPECT_EQ(box_.goalKind(s2[0]), std::nullopt);
+}
+
+TEST_F(BoxFixture, DeliverTunnelRoutesToGoal) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, false, "", "peer");
+  box_.setGoal(slots[0], HoldSlotGoal{phone(), DescriptorFactory{1}});
+  (void)box_.drainOutput();
+  box_.deliverTunnel(slots[0], OpenSignal{Medium::audio, remote(1)});
+  auto out = box_.drainOutput();
+  ASSERT_EQ(out.tunnel.size(), 2u);  // oack + select
+  EXPECT_EQ(kindOf(out.tunnel[0].signal), SignalKind::oack);
+  EXPECT_EQ(box_.slotState(slots[0]), ProtocolState::flowing);
+}
+
+TEST_F(BoxFixture, DeliverToUnknownSlotIsSafe) {
+  box_.deliverTunnel(SlotId{999}, CloseSignal{});
+  EXPECT_TRUE(box_.drainOutput().empty());
+}
+
+TEST_F(BoxFixture, UnboundSlotAbsorbsButAutoReplies) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, false, "", "peer");
+  // No goal bound: an open is absorbed (protocol state advances)...
+  box_.deliverTunnel(slots[0], OpenSignal{Medium::audio, remote(1)});
+  EXPECT_EQ(box_.slotState(slots[0]), ProtocolState::opened);
+  EXPECT_TRUE(box_.drainOutput().tunnel.empty());
+  // ...but mandatory protocol replies still go out.
+  box_.deliverTunnel(slots[0], CloseSignal{});
+  auto out = box_.drainOutput();
+  ASSERT_EQ(out.tunnel.size(), 1u);
+  EXPECT_EQ(kindOf(out.tunnel[0].signal), SignalKind::closeack);
+}
+
+TEST_F(BoxFixture, RetryTimerRequestedOncePerPendingRetry) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, true, "", "peer");
+  box_.setGoal(slots[0], OpenSlotGoal{Medium::audio, phone(), DescriptorFactory{1}});
+  (void)box_.drainOutput();
+  box_.deliverTunnel(slots[0], CloseSignal{});  // rejected -> retry pending
+  auto out = box_.drainOutput();
+  ASSERT_EQ(out.timers.size(), 1u);
+  EXPECT_EQ(out.timers[0].tag, Box::kRetryTimerTag);
+  EXPECT_TRUE(box_.hasPendingRetries());
+  // The retry timer fires: the open goes out again, and because that open
+  // clears the pending state, no new timer is requested.
+  box_.fireTimer(Box::kRetryTimerTag);
+  auto out2 = box_.drainOutput();
+  ASSERT_EQ(out2.tunnel.size(), 1u);
+  EXPECT_EQ(kindOf(out2.tunnel[0].signal), SignalKind::open);
+  EXPECT_TRUE(out2.timers.empty());
+  EXPECT_FALSE(box_.hasPendingRetries());
+}
+
+TEST_F(BoxFixture, RemoveChannelDropsSlotsAndGoals) {
+  auto s1 = box_.addChannelEnd(ChannelId{1}, 1, true, "", "x");
+  auto s2 = box_.addChannelEnd(ChannelId{2}, 1, true, "", "y");
+  box_.linkSlots(s1[0], s2[0]);
+  box_.removeChannel(ChannelId{1});
+  EXPECT_FALSE(box_.hasChannel(ChannelId{1}));
+  // The flowlink spanned both channels; it dies with either one.
+  EXPECT_EQ(box_.goalKind(s2[0]), std::nullopt);
+  EXPECT_THROW((void)box_.slot(s1[0]), std::logic_error);
+}
+
+TEST_F(BoxFixture, TeardownMetaRemovesChannel) {
+  box_.addChannelEnd(ChannelId{1}, 1, false, "", "peer");
+  box_.deliverMeta(ChannelId{1}, MetaSignal{MetaKind::teardown, "", ""});
+  EXPECT_FALSE(box_.hasChannel(ChannelId{1}));
+}
+
+TEST_F(BoxFixture, SetSlotMuteFlowsThroughGoal) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, false, "", "peer");
+  box_.setGoal(slots[0], HoldSlotGoal{phone(), DescriptorFactory{1}});
+  box_.deliverTunnel(slots[0], OpenSignal{Medium::audio, remote(1)});
+  (void)box_.drainOutput();
+  box_.setSlotMute(slots[0], true, false);
+  auto out = box_.drainOutput();
+  ASSERT_EQ(out.tunnel.size(), 1u);
+  const auto& describe = std::get<DescribeSignal>(out.tunnel[0].signal);
+  EXPECT_TRUE(describe.descriptor.isNoMedia());
+}
+
+TEST_F(BoxFixture, DrainOutputIsDestructive) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, true, "", "peer");
+  box_.setGoal(slots[0], OpenSlotGoal{Medium::audio, phone(), DescriptorFactory{1}});
+  EXPECT_FALSE(box_.drainOutput().empty());
+  EXPECT_TRUE(box_.drainOutput().empty());
+}
+
+TEST_F(BoxFixture, ClearGoalDetaches) {
+  auto slots = box_.addChannelEnd(ChannelId{1}, 1, true, "", "peer");
+  box_.setGoal(slots[0], CloseSlotGoal{});
+  box_.clearGoal(slots[0]);
+  EXPECT_EQ(box_.goalKind(slots[0]), std::nullopt);
+}
+
+}  // namespace
+}  // namespace cmc

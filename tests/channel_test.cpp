@@ -1,0 +1,122 @@
+// Unit tests for src/channel: FIFO channel semantics, tunnels, meta-signals.
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+
+namespace cmc {
+namespace {
+
+Descriptor desc(std::uint64_t id) {
+  const Codec codecs[] = {Codec::g711u};
+  return makeDescriptor(DescriptorId{id}, MediaAddress::parse("10.0.0.1", 5000),
+                        codecs, false);
+}
+
+TEST(MetaSignal, RoundTrip) {
+  MetaSignal m{MetaKind::custom, "paid", "amount=5"};
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(MetaSignal::deserialize(r), m);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(MetaSignal, KindNames) {
+  EXPECT_EQ(toString(MetaKind::available), "available");
+  EXPECT_EQ(toString(MetaKind::teardown), "teardown");
+}
+
+TEST(ChannelMessage, TunnelSignalRoundTrip) {
+  ChannelMessage m = TunnelSignal{3, OpenSignal{Medium::audio, desc(1)}};
+  ByteWriter w;
+  serialize(m, w);
+  ByteReader r{w.bytes()};
+  auto back = deserializeChannelMessage(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(ChannelMessage, MetaRoundTrip) {
+  ChannelMessage m = MetaSignal{MetaKind::unavailable, "", ""};
+  ByteWriter w;
+  serialize(m, w);
+  ByteReader r{w.bytes()};
+  auto back = deserializeChannelMessage(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(ChannelMessage, BadTagFails) {
+  std::vector<std::uint8_t> bytes{9};
+  ByteReader r{bytes};
+  EXPECT_EQ(deserializeChannelMessage(r), std::nullopt);
+}
+
+TEST(Side, Opposite) {
+  EXPECT_EQ(opposite(Side::A), Side::B);
+  EXPECT_EQ(opposite(Side::B), Side::A);
+}
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelState ch_{ChannelId{1}, /*tunnel_count=*/2};
+};
+
+TEST_F(ChannelFixture, StartsEmpty) {
+  EXPECT_TRUE(ch_.empty());
+  EXPECT_FALSE(ch_.hasMessageToward(Side::A));
+  EXPECT_FALSE(ch_.hasMessageToward(Side::B));
+  EXPECT_EQ(ch_.tunnelCount(), 2u);
+}
+
+TEST_F(ChannelFixture, FifoPerDirection) {
+  ch_.push(Side::B, TunnelSignal{0, CloseSignal{}});
+  ch_.push(Side::B, TunnelSignal{1, CloseAckSignal{}});
+  ASSERT_TRUE(ch_.hasMessageToward(Side::B));
+  EXPECT_EQ(ch_.depthToward(Side::B), 2u);
+
+  auto m1 = ch_.pop(Side::B);
+  EXPECT_EQ(std::get<TunnelSignal>(m1).tunnel, 0u);
+  auto m2 = ch_.pop(Side::B);
+  EXPECT_EQ(std::get<TunnelSignal>(m2).tunnel, 1u);
+  EXPECT_TRUE(ch_.empty());
+}
+
+TEST_F(ChannelFixture, DirectionsIndependent) {
+  ch_.push(Side::A, TunnelSignal{0, CloseSignal{}});
+  EXPECT_TRUE(ch_.hasMessageToward(Side::A));
+  EXPECT_FALSE(ch_.hasMessageToward(Side::B));
+  (void)ch_.pop(Side::A);
+  EXPECT_TRUE(ch_.empty());
+}
+
+TEST_F(ChannelFixture, PeekDoesNotConsume) {
+  ch_.push(Side::B, MetaSignal{MetaKind::available, "", ""});
+  (void)ch_.peek(Side::B);
+  EXPECT_EQ(ch_.depthToward(Side::B), 1u);
+}
+
+TEST_F(ChannelFixture, CanonicalizeDependsOnContents) {
+  ByteWriter w1;
+  ch_.canonicalize(w1);
+  ch_.push(Side::A, TunnelSignal{0, CloseSignal{}});
+  ByteWriter w2;
+  ch_.canonicalize(w2);
+  EXPECT_NE(fnv1a(w1.bytes()), fnv1a(w2.bytes()));
+}
+
+TEST_F(ChannelFixture, CanonicalizeOrderSensitive) {
+  ChannelState a{ChannelId{1}, 1};
+  ChannelState b{ChannelId{1}, 1};
+  a.push(Side::A, TunnelSignal{0, CloseSignal{}});
+  a.push(Side::A, TunnelSignal{0, CloseAckSignal{}});
+  b.push(Side::A, TunnelSignal{0, CloseAckSignal{}});
+  b.push(Side::A, TunnelSignal{0, CloseSignal{}});
+  ByteWriter wa, wb;
+  a.canonicalize(wa);
+  b.canonicalize(wb);
+  EXPECT_NE(fnv1a(wa.bytes()), fnv1a(wb.bytes()));
+}
+
+}  // namespace
+}  // namespace cmc

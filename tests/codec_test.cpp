@@ -1,0 +1,199 @@
+// Unit tests for src/codec: codec registry, descriptors, selectors, and the
+// unilateral codec-choice rule of paper Section VI-B.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codec/codec.hpp"
+#include "codec/descriptor.hpp"
+
+namespace cmc {
+namespace {
+
+TEST(CodecRegistry, InfoForKnownCodecs) {
+  EXPECT_EQ(info(Codec::g711u).medium, Medium::audio);
+  EXPECT_EQ(info(Codec::g711u).bandwidth_kbps, 64u);
+  EXPECT_EQ(info(Codec::h263).medium, Medium::video);
+  EXPECT_EQ(info(Codec::t140).medium, Medium::text);
+}
+
+TEST(CodecRegistry, G711HigherFidelityThanG726) {
+  // The paper's example: G.726 is lower-fidelity/bandwidth than G.711.
+  EXPECT_GT(info(Codec::g711u).fidelity, info(Codec::g726).fidelity);
+  EXPECT_GT(info(Codec::g711u).bandwidth_kbps, info(Codec::g726).bandwidth_kbps);
+}
+
+TEST(CodecRegistry, NameLookup) {
+  EXPECT_EQ(codecFromName("G.711u"), Codec::g711u);
+  EXPECT_EQ(codecFromName("noMedia"), Codec::noMedia);
+  EXPECT_EQ(codecFromName("bogus"), std::nullopt);
+}
+
+TEST(CodecRegistry, CodecsForMediumSortedByFidelity) {
+  auto audio = codecsFor(Medium::audio);
+  ASSERT_GE(audio.size(), 3u);
+  for (std::size_t i = 1; i < audio.size(); ++i) {
+    EXPECT_GE(info(audio[i - 1]).fidelity, info(audio[i]).fidelity);
+  }
+  for (Codec c : audio) EXPECT_TRUE(codecMatchesMedium(c, Medium::audio));
+}
+
+TEST(CodecRegistry, NoMediaMatchesNoMedium) {
+  EXPECT_FALSE(codecMatchesMedium(Codec::noMedia, Medium::audio));
+  EXPECT_FALSE(codecMatchesMedium(Codec::noMedia, Medium::data));
+  EXPECT_TRUE(isNoMedia(Codec::noMedia));
+  EXPECT_FALSE(isNoMedia(Codec::g729));
+}
+
+TEST(MediaAddress, ParseAndFormat) {
+  auto addr = MediaAddress::parse("192.168.1.20", 5004);
+  EXPECT_EQ(addr.toString(), "192.168.1.20:5004");
+  EXPECT_EQ(addr.ip, 0xc0a80114u);
+}
+
+TEST(MediaAddress, Equality) {
+  EXPECT_EQ(MediaAddress::parse("10.0.0.1", 5), MediaAddress::parse("10.0.0.1", 5));
+  EXPECT_NE(MediaAddress::parse("10.0.0.1", 5), MediaAddress::parse("10.0.0.2", 5));
+}
+
+class DescriptorTest : public ::testing::Test {
+ protected:
+  MediaAddress addr_ = MediaAddress::parse("10.1.2.3", 4000);
+  std::vector<Codec> audio_{Codec::g711u, Codec::g726};
+};
+
+TEST_F(DescriptorTest, MakeDescriptorOffersCodecs) {
+  auto d = makeDescriptor(DescriptorId{1}, addr_, audio_, /*muteIn=*/false);
+  EXPECT_FALSE(d.isNoMedia());
+  EXPECT_TRUE(d.wellFormed());
+  EXPECT_EQ(d.codecs, audio_);
+}
+
+TEST_F(DescriptorTest, MuteInProducesNoMediaDescriptor) {
+  // Paper: "If the endpoint does not wish to receive media, i.e. muteIn is
+  // true, then the only offered codec is noMedia."
+  auto d = makeDescriptor(DescriptorId{2}, addr_, audio_, /*muteIn=*/true);
+  EXPECT_TRUE(d.isNoMedia());
+  EXPECT_TRUE(d.wellFormed());
+}
+
+TEST_F(DescriptorTest, WellFormedRejectsMixedNoMedia) {
+  Descriptor d;
+  d.id = DescriptorId{3};
+  d.codecs = {Codec::g711u, Codec::noMedia};
+  EXPECT_FALSE(d.wellFormed());
+  d.codecs.clear();
+  EXPECT_FALSE(d.wellFormed());
+}
+
+TEST_F(DescriptorTest, SerializationRoundTrip) {
+  auto d = makeDescriptor(DescriptorId{77}, addr_, audio_, false);
+  ByteWriter w;
+  d.serialize(w);
+  ByteReader r{w.bytes()};
+  auto back = Descriptor::deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back, d);
+}
+
+TEST_F(DescriptorTest, StreamFormatMentionsCodecs) {
+  auto d = makeDescriptor(DescriptorId{5}, addr_, audio_, false);
+  std::ostringstream oss;
+  oss << d;
+  EXPECT_NE(oss.str().find("G.711u"), std::string::npos);
+}
+
+TEST(Selector, SerializationRoundTrip) {
+  Selector s{DescriptorId{9}, MediaAddress::parse("10.0.0.9", 1234), Codec::g726};
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(Selector::deserialize(r), s);
+  EXPECT_TRUE(r.ok());
+}
+
+class CodecChoiceTest : public ::testing::Test {
+ protected:
+  Descriptor offer(std::vector<Codec> codecs) {
+    Descriptor d;
+    d.id = DescriptorId{1};
+    d.addr = MediaAddress::parse("10.0.0.1", 2000);
+    d.codecs = std::move(codecs);
+    return d;
+  }
+};
+
+TEST_F(CodecChoiceTest, PicksHighestPriorityCommon) {
+  // Receiver prefers g711u, then g726; sender supports both -> g711u.
+  auto d = offer({Codec::g711u, Codec::g726});
+  const Codec sendable[] = {Codec::g726, Codec::g711u};
+  EXPECT_EQ(chooseCodec(d, sendable, false), Codec::g711u);
+}
+
+TEST_F(CodecChoiceTest, RespectsReceiverPriorityOrder) {
+  // Receiver prefers the lower-fidelity codec; the sender must honor that.
+  auto d = offer({Codec::g726, Codec::g711u});
+  const Codec sendable[] = {Codec::g711u, Codec::g726};
+  EXPECT_EQ(chooseCodec(d, sendable, false), Codec::g726);
+}
+
+TEST_F(CodecChoiceTest, MuteOutForcesNoMedia) {
+  auto d = offer({Codec::g711u});
+  const Codec sendable[] = {Codec::g711u};
+  EXPECT_EQ(chooseCodec(d, sendable, true), Codec::noMedia);
+}
+
+TEST_F(CodecChoiceTest, NoMediaDescriptorForcesNoMediaSelector) {
+  // Paper: "The only legal response to a descriptor noMedia is a selector
+  // noMedia."
+  auto d = offer({Codec::noMedia});
+  const Codec sendable[] = {Codec::g711u};
+  EXPECT_EQ(chooseCodec(d, sendable, false), Codec::noMedia);
+}
+
+TEST_F(CodecChoiceTest, NoCommonCodecDegradesToNoMedia) {
+  auto d = offer({Codec::g729});
+  const Codec sendable[] = {Codec::g711u};
+  EXPECT_EQ(chooseCodec(d, sendable, false), Codec::noMedia);
+}
+
+TEST_F(CodecChoiceTest, MakeSelectorCarriesSenderAddressAndDescriptorId) {
+  auto d = offer({Codec::g711u});
+  auto sender = MediaAddress::parse("10.9.9.9", 3333);
+  const Codec sendable[] = {Codec::g711u};
+  auto s = makeSelector(d, sender, sendable, false);
+  EXPECT_EQ(s.answersDescriptor, d.id);
+  EXPECT_EQ(s.sender, sender);
+  EXPECT_EQ(s.codec, Codec::g711u);
+  EXPECT_FALSE(s.isNoMedia());
+}
+
+// Property sweep: for every audio codec pair (receiver preference, sender
+// capability), the chosen codec is either noMedia or in both lists, and
+// honors the receiver's order.
+class CodecChoiceProperty
+    : public ::testing::TestWithParam<std::tuple<Codec, Codec>> {};
+
+TEST_P(CodecChoiceProperty, ChoiceIsSoundAndComplete) {
+  auto [preferred, capable] = GetParam();
+  Descriptor d;
+  d.id = DescriptorId{1};
+  d.codecs = {preferred};
+  const Codec sendable[] = {capable};
+  Codec chosen = chooseCodec(d, sendable, false);
+  if (preferred == capable && preferred != Codec::noMedia) {
+    EXPECT_EQ(chosen, preferred);
+  } else {
+    EXPECT_EQ(chosen, Codec::noMedia);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAudioPairs, CodecChoiceProperty,
+    ::testing::Combine(::testing::Values(Codec::g711u, Codec::g711a, Codec::g722,
+                                         Codec::g726, Codec::g729, Codec::noMedia),
+                       ::testing::Values(Codec::g711u, Codec::g711a, Codec::g722,
+                                         Codec::g726, Codec::g729)));
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,166 @@
+// Focused endpoint-box tests: device accept policies and busy handling,
+// tone resource behavior, voice-resource re-arming across collection
+// episodes, movie-server session control, and bridge meta parsing.
+#include <gtest/gtest.h>
+
+#include "endpoints/bridge_box.hpp"
+#include "endpoints/movie_server.hpp"
+#include "endpoints/resources.hpp"
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+class EndpointFixture : public ::testing::Test {
+ protected:
+  EndpointFixture() : sim_(TimingModel::paperDefaults(), 3) {}
+
+  UserDeviceBox& addPhone(const std::string& name, int octet,
+                          UserDeviceBox::AcceptPolicy policy =
+                              UserDeviceBox::AcceptPolicy::autoAccept) {
+    return sim_.addBox<UserDeviceBox>(
+        name, sim_.mediaNetwork(), sim_.loop(),
+        MediaAddress::parse("10.7.0." + std::to_string(octet), 5000), policy);
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(EndpointFixture, BusyDeviceRejectsWithUnavailable) {
+  auto& a = addPhone("A", 1);
+  auto& b = addPhone("B", 2);
+  b.setBusy(true);
+  bool got_unavailable = false;
+  // A is the caller; sniff metas by watching A's channel go away along with
+  // the call never connecting.
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(a.inCall());
+  EXPECT_FALSE(b.inCall());
+  (void)got_unavailable;
+}
+
+TEST_F(EndpointFixture, SecondCallWhileBusyDoesNotDisturbFirst) {
+  auto& a = addPhone("A", 1);
+  auto& b = addPhone("B", 2);
+  auto& c = addPhone("C", 3);
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(1_s);
+  ASSERT_TRUE(a.inCall());
+  sim_.inject("B", [](Box& bx) { static_cast<UserDeviceBox&>(bx).setBusy(true); });
+  sim_.runFor(100_ms);
+  sim_.inject("C", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(c.inCall());
+  a.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(a.media().hears(b.media().id()));  // first call unharmed
+}
+
+TEST_F(EndpointFixture, ToneGeneratorOnlyTalks) {
+  auto& a = addPhone("A", 1);
+  auto& tone = sim_.addBox<ToneGeneratorBox>(
+      "tone", sim_.mediaNetwork(), sim_.loop(),
+      MediaAddress::parse("10.7.0.9", 5900));
+  sim_.inject("A",
+              [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("tone"); });
+  sim_.runFor(2_s);
+  EXPECT_TRUE(a.media().hears(tone.toneId()));
+  // The tone generator's descriptor is noMedia (muteIn): A must not send.
+  EXPECT_FALSE(a.media().sendingNow());
+  EXPECT_EQ(tone.media().packetsReceived(), 0u);
+}
+
+TEST_F(EndpointFixture, VoiceResourceRearmsBetweenEpisodes) {
+  addPhone("C", 3);
+  auto& v = sim_.addBox<VoiceResourceBox>("V", sim_.mediaNetwork(), sim_.loop(),
+                                          MediaAddress::parse("10.7.0.8", 5900));
+  v.authorizeAfter = 500_ms;
+  sim_.inject("C", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("V"); });
+  sim_.runFor(3_s);
+  EXPECT_TRUE(v.authorized());
+  EXPECT_EQ(v.authorizations(), 1);
+  // Caller mutes (silence) long enough for the resource to re-arm...
+  sim_.inject("C", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).setMute(false, /*muteOut=*/true);
+  });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(v.authorized());
+  // ...then talks again: a second authorization fires.
+  sim_.inject("C", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).setMute(false, false);
+  });
+  sim_.runFor(3_s);
+  EXPECT_EQ(v.authorizations(), 2);
+}
+
+TEST_F(EndpointFixture, MovieServerSessionLifecycle) {
+  auto& server = sim_.addBox<MovieServerBox>(
+      "movies", sim_.mediaNetwork(), sim_.loop(),
+      MediaAddress::parse("10.7.0.100", 7000));
+  sim_.addBox<Box>("ctrl");
+  const ChannelId ch = sim_.connect("ctrl", "movies", 2);
+  auto meta = [&](const std::string& tag, const std::string& payload) {
+    sim_.inject("ctrl", [ch, tag, payload](Box& bx) {
+      bx.deliverMeta(ch, MetaSignal{MetaKind::custom, tag, payload});
+      // Manually forward since a bare Box has no program: send as output.
+    });
+  };
+  (void)meta;
+  // Drive metas directly at the server (transport is exercised elsewhere).
+  sim_.inject("movies", [ch](Box& bx) {
+    bx.deliverMeta(ch, MetaSignal{MetaKind::custom, "load", "casablanca"});
+    bx.deliverMeta(ch, MetaSignal{MetaKind::custom, "play", ""});
+  });
+  sim_.runFor(2_s);
+  ASSERT_NE(server.session(ch), nullptr);
+  EXPECT_EQ(server.session(ch)->movie, "casablanca");
+  EXPECT_TRUE(server.session(ch)->playing);
+  const double p1 = server.positionOf(ch);
+  EXPECT_GT(p1, 1.5);
+  sim_.inject("movies", [ch](Box& bx) {
+    bx.deliverMeta(ch, MetaSignal{MetaKind::custom, "pause", ""});
+  });
+  sim_.runFor(1_s);
+  const double p2 = server.positionOf(ch);
+  sim_.runFor(1_s);
+  EXPECT_DOUBLE_EQ(server.positionOf(ch), p2);
+  sim_.inject("movies", [ch](Box& bx) {
+    bx.deliverMeta(ch, MetaSignal{MetaKind::custom, "seek", "120.5"});
+  });
+  sim_.runFor(500_ms);
+  EXPECT_DOUBLE_EQ(server.positionOf(ch), 120.5);
+}
+
+TEST_F(EndpointFixture, BridgeBoxIgnoresMalformedMixMeta) {
+  auto& bridge = sim_.addBox<BridgeBox>("bridge", sim_.mediaNetwork(),
+                                        sim_.loop(),
+                                        MediaAddress::parse("10.7.0.50", 6000),
+                                        4);
+  sim_.inject("bridge", [](Box& bx) {
+    bx.deliverMeta(ChannelId{1}, MetaSignal{MetaKind::custom, "mix", "garbage"});
+    bx.deliverMeta(ChannelId{1}, MetaSignal{MetaKind::custom, "mix", "9,9,1"});
+    bx.deliverMeta(ChannelId{1}, MetaSignal{MetaKind::custom, "mode", "bogus"});
+    bx.deliverMeta(ChannelId{1},
+                   MetaSignal{MetaKind::custom, "mode", "whisper:1"});
+  });
+  sim_.runFor(100_ms);
+  // Survived; default mesh intact for valid legs.
+  EXPECT_TRUE(bridge.bridge().audible(0, 1));
+  EXPECT_FALSE(bridge.bridge().audible(0, 0));
+}
+
+TEST_F(EndpointFixture, DevicePlaceCallToUnknownBoxIsHarmless) {
+  auto& a = addPhone("A", 1);
+  sim_.inject("A", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).placeCall("nonexistent");
+  });
+  sim_.runFor(1_s);
+  EXPECT_FALSE(a.inCall());
+}
+
+}  // namespace
+}  // namespace cmc

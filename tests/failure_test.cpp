@@ -1,0 +1,154 @@
+// Failure-injection tests: teardown racing with setup, simultaneous
+// hangups, devices vanishing mid-modification, and the logger under
+// concurrent use. The specification only promises behavior for stable
+// paths; these tests pin down that instability degrades *cleanly* — no
+// stuck slots, no phantom media, no crashes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+class FailureFixture : public ::testing::Test {
+ protected:
+  FailureFixture()
+      : sim_(TimingModel::paperDefaults(), 43),
+        a_(sim_.addBox<UserDeviceBox>("A", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.8.1.1", 5000))),
+        b_(sim_.addBox<UserDeviceBox>("B", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.8.1.2", 5000))) {}
+
+  Simulator sim_;
+  UserDeviceBox& a_;
+  UserDeviceBox& b_;
+};
+
+TEST_F(FailureFixture, HangupWhileOpenInFlight) {
+  // A hangs up before its open even reaches B: B must not end up with a
+  // half-open call.
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(30_ms);  // open still in flight (n = 34 ms)
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).hangUp(); });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(a_.inCall());
+  EXPECT_FALSE(b_.inCall());
+  EXPECT_FALSE(b_.media().sendingNow());
+}
+
+TEST_F(FailureFixture, SimultaneousHangup) {
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  ASSERT_TRUE(a_.inCall());
+  // Both tear down at the same instant: teardown metas cross in flight.
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).hangUp(); });
+  sim_.inject("B", [](Box& bx) { static_cast<UserDeviceBox&>(bx).hangUp(); });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(a_.inCall());
+  EXPECT_FALSE(b_.inCall());
+  EXPECT_FALSE(a_.media().sendingNow());
+  EXPECT_FALSE(b_.media().sendingNow());
+}
+
+TEST_F(FailureFixture, HangupRacesWithMuteChange) {
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  // B modifies just as A tears the channel down: the describe races the
+  // teardown and must be dropped harmlessly.
+  sim_.inject("B", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).setMute(true, true);
+  });
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).hangUp(); });
+  sim_.runFor(2_s);
+  EXPECT_FALSE(a_.inCall());
+  EXPECT_FALSE(b_.inCall());
+}
+
+TEST_F(FailureFixture, RapidRedial) {
+  // Hang up and immediately redial, five times: each call must establish.
+  for (int round = 0; round < 5; ++round) {
+    sim_.inject("A",
+                [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+    sim_.runFor(1_s);
+    EXPECT_TRUE(a_.inCall()) << "round " << round;
+    sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).hangUp(); });
+    sim_.runFor(500_ms);
+  }
+  EXPECT_FALSE(a_.inCall());
+}
+
+TEST_F(FailureFixture, MuteStorm) {
+  // 20 rapid alternating mute toggles queued faster than the network can
+  // carry them: idempotent describes/selects must converge to the last
+  // setting.
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  for (int i = 0; i < 20; ++i) {
+    const bool mute = (i % 2) == 0;
+    sim_.inject("A", [mute](Box& bx) {
+      static_cast<UserDeviceBox&>(bx).setMute(mute, mute);
+    });
+  }
+  sim_.runFor(3_s);  // last toggle: i=19 -> mute=false
+  a_.media().resetStats();
+  b_.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, LevelsFilter) {
+  std::ostringstream sink;
+  log::setSink(&sink);
+  log::setLevel(log::Level::warn);
+  log::debug("t", "hidden");
+  log::info("t", "hidden");
+  log::warn("t", "visible-warn");
+  log::error("t", "visible-error");
+  log::setLevel(log::Level::none);
+  log::setSink(nullptr);
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible-warn"), std::string::npos);
+  EXPECT_NE(out.find("visible-error"), std::string::npos);
+  EXPECT_NE(out.find("[WARN ]"), std::string::npos);
+}
+
+TEST(Logging, ConcurrentWritersDoNotInterleave) {
+  std::ostringstream sink;
+  log::setSink(&sink);
+  log::setLevel(log::Level::info);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < 50; ++i) {
+        log::info("thread", "writer=", t, " line=", i, " payload=XXXXXXXX");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  log::setLevel(log::Level::none);
+  log::setSink(nullptr);
+  // Every line is complete: starts with the level tag, ends with payload.
+  std::istringstream lines(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[INFO ]", 0), 0u) << line;
+    EXPECT_NE(line.find("payload=XXXXXXXX"), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 200);
+}
+
+}  // namespace
+}  // namespace cmc

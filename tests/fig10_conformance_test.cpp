@@ -1,0 +1,165 @@
+// Conformance to the paper's Fig. 10: "Use of the protocol" — the
+// canonical open / modify / close scenario on a single tunnel with no
+// flowlinks, checked signal by signal.
+//
+//   L -> open(desc1) -> R
+//   R -> oack(desc2), select(sel1 answering desc1) -> L
+//   L -> select(sel2 answering desc2) -> R
+//   R -> select(sel'2 answering desc2)      (codec change, same descriptor)
+//   L -> describe(desc3) -> R               (modify; e.g. mute change)
+//   R -> select(sel3 answering desc3) -> L
+//   L -> close -> R
+//   R -> closeack -> L
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/goal.hpp"
+
+namespace cmc {
+namespace {
+
+// Two endpoints, one tunnel, hand-pumped FIFO queues: every signal on the
+// wire is recorded and checked against Fig. 10.
+class Fig10 : public ::testing::Test {
+ protected:
+  Fig10()
+      : left_slot_{SlotId{1}, true},
+        right_slot_{SlotId{2}, false},
+        left_{Medium::audio,
+              MediaIntent::endpoint(MediaAddress::parse("10.0.0.1", 5000),
+                                    {Codec::g711u, Codec::g726}),
+              DescriptorFactory{1}},
+        right_{MediaIntent::endpoint(MediaAddress::parse("10.0.0.2", 5000),
+                                     {Codec::g711u, Codec::g726}),
+               DescriptorFactory{2}} {}
+
+  struct Wire {
+    bool to_right;
+    Signal signal;
+  };
+
+  void pumpLeft(Outbox&& out) {
+    for (auto& item : out.take()) {
+      wire_.push_back(Wire{true, item.signal});
+      trace_.push_back("L>" + std::string(toString(kindOf(item.signal))));
+    }
+  }
+  void pumpRight(Outbox&& out) {
+    for (auto& item : out.take()) {
+      wire_.push_back(Wire{false, item.signal});
+      trace_.push_back("R>" + std::string(toString(kindOf(item.signal))));
+    }
+  }
+
+  void run() {
+    while (!wire_.empty()) {
+      Wire w = std::move(wire_.front());
+      wire_.pop_front();
+      Outbox out;
+      if (w.to_right) {
+        auto result = right_slot_.deliver(w.signal);
+        if (result.autoReply) out.send(right_slot_.id(), *result.autoReply);
+        right_.onEvent(right_slot_, result.event, out);
+        pumpRight(std::move(out));
+      } else {
+        auto result = left_slot_.deliver(w.signal);
+        if (result.autoReply) out.send(left_slot_.id(), *result.autoReply);
+        left_.onEvent(left_slot_, result.event, out);
+        pumpLeft(std::move(out));
+      }
+    }
+  }
+
+  SlotEndpoint left_slot_;
+  SlotEndpoint right_slot_;
+  OpenSlotGoal left_;
+  HoldSlotGoal right_;
+  std::deque<Wire> wire_;
+  std::vector<std::string> trace_;
+};
+
+TEST_F(Fig10, FullScenarioSignalSequence) {
+  // --- open ----------------------------------------------------------
+  Outbox out;
+  left_.attach(left_slot_, out);
+  right_.attach(right_slot_, out);  // hold: silent
+  pumpLeft(std::move(out));
+  run();
+  // open; oack + select(sel1); select(sel2).
+  EXPECT_EQ(trace_, (std::vector<std::string>{"L>open", "R>oack", "R>select",
+                                              "L>select"}));
+  EXPECT_EQ(left_slot_.state(), ProtocolState::flowing);
+  EXPECT_EQ(right_slot_.state(), ProtocolState::flowing);
+  // sel1 answers desc1, sel2 answers desc2 (the numbered pairing of Fig. 10).
+  EXPECT_EQ(left_slot_.lastSelectorReceived()->answersDescriptor,
+            left_slot_.lastDescriptorSent());
+  EXPECT_EQ(right_slot_.lastSelectorReceived()->answersDescriptor,
+            right_slot_.lastDescriptorSent());
+  trace_.clear();
+
+  // --- select' (unilateral codec change, same descriptor) -------------
+  Outbox out2;
+  ASSERT_TRUE(right_.reselect(Codec::g726, right_slot_, out2));
+  pumpRight(std::move(out2));
+  run();
+  EXPECT_EQ(trace_, (std::vector<std::string>{"R>select"}));
+  EXPECT_EQ(left_slot_.lastSelectorReceived()->codec, Codec::g726);
+  // Still answers the descriptor left most recently sent: no renegotiation.
+  EXPECT_EQ(left_slot_.lastSelectorReceived()->answersDescriptor,
+            left_slot_.lastDescriptorSent());
+  trace_.clear();
+
+  // --- describe / select (modify) --------------------------------------
+  Outbox out3;
+  left_.setMute(/*in=*/true, /*out=*/false, left_slot_, out3);
+  pumpLeft(std::move(out3));
+  run();
+  EXPECT_EQ(trace_, (std::vector<std::string>{"L>describe", "R>select"}));
+  // desc3 is noMedia; sel3 must answer it with noMedia.
+  ASSERT_TRUE(left_slot_.lastSelectorReceived().has_value());
+  EXPECT_TRUE(left_slot_.lastSelectorReceived()->isNoMedia());
+  EXPECT_EQ(left_slot_.lastSelectorReceived()->answersDescriptor,
+            left_slot_.lastDescriptorSent());
+  trace_.clear();
+
+  // --- close / closeack -------------------------------------------------
+  Outbox out4;
+  out4.send(left_slot_.id(), left_slot_.sendClose());
+  pumpLeft(std::move(out4));
+  run();
+  EXPECT_EQ(trace_, (std::vector<std::string>{"L>close", "R>closeack"}));
+  EXPECT_EQ(left_slot_.state(), ProtocolState::closed);
+  EXPECT_EQ(right_slot_.state(), ProtocolState::closed);
+}
+
+TEST_F(Fig10, ConcurrentDescribesDoNotConstrainEachOther) {
+  // Section VI-C: "describe signals (and their answering selects) going in
+  // opposite directions of the same tunnel do not constrain each other."
+  Outbox out;
+  left_.attach(left_slot_, out);
+  right_.attach(right_slot_, out);
+  pumpLeft(std::move(out));
+  run();
+  trace_.clear();
+
+  // Both ends modify at the same instant; all four signals flow with no
+  // ordering constraint or failure.
+  Outbox lo, ro;
+  left_.setMute(true, false, left_slot_, lo);
+  right_.setMute(true, false, right_slot_, ro);
+  pumpLeft(std::move(lo));
+  pumpRight(std::move(ro));
+  run();
+  // Exactly: L describe, R describe, then each side's answering select.
+  ASSERT_EQ(trace_.size(), 4u);
+  EXPECT_EQ(trace_[0], "L>describe");
+  EXPECT_EQ(trace_[1], "R>describe");
+  EXPECT_EQ(left_slot_.lastSelectorReceived()->answersDescriptor,
+            left_slot_.lastDescriptorSent());
+  EXPECT_EQ(right_slot_.lastSelectorReceived()->answersDescriptor,
+            right_slot_.lastDescriptorSent());
+}
+
+}  // namespace
+}  // namespace cmc

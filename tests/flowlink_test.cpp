@@ -1,0 +1,308 @@
+// Unit tests for the flowLink primitive (paper Section VII): state matching
+// over live/dead superstates, descriptor caching, up-to-date bookkeeping,
+// and selector freshness filtering.
+//
+// The tests drive a FlowLink directly over two SlotEndpoints, playing the
+// role of both far ends by hand. End-to-end behavior through whole paths is
+// covered in path_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/flowlink.hpp"
+
+namespace cmc {
+namespace {
+
+Descriptor desc(std::uint64_t id, bool muted = false) {
+  const Codec codecs[] = {Codec::g711u, Codec::g726};
+  return makeDescriptor(DescriptorId{id},
+                        MediaAddress::parse("10.0.0.1", 5000),
+                        muted ? std::span<const Codec>{} : std::span<const Codec>{codecs},
+                        muted);
+}
+
+Selector sel(std::uint64_t answers, Codec codec = Codec::g711u) {
+  return Selector{DescriptorId{answers}, MediaAddress::parse("10.0.0.2", 5002), codec};
+}
+
+class FlowLinkTest : public ::testing::Test {
+ protected:
+  // Slot 1 faces left (non-initiator of its channel), slot 2 faces right
+  // (initiator), matching PathSystem's convention.
+  SlotEndpoint s1_{SlotId{1}, false};
+  SlotEndpoint s2_{SlotId{2}, true};
+  FlowLink link_;
+
+  Outbox attach() {
+    Outbox out;
+    link_.attach(s1_, s2_, out);
+    return out;
+  }
+
+  Outbox deliver(SlotEndpoint& self, SlotEndpoint& other, const Signal& signal) {
+    Outbox out;
+    auto result = self.deliver(signal);
+    link_.onEvent(self, other, result.event, signal, out);
+    return out;
+  }
+
+  static const Signal& only(const Outbox& out) {
+    EXPECT_EQ(out.size(), 1u);
+    return out.signals().front().signal;
+  }
+};
+
+TEST_F(FlowLinkTest, BothClosedAttachIsIdle) {
+  auto out = attach();
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(FlowLink::matched(s1_, s2_));  // both closed is a goal state
+}
+
+TEST_F(FlowLinkTest, OpenPropagatesThroughWithSameDescriptor) {
+  attach();
+  // Far-left opens: the flowlink must extend the request to the right with
+  // the *same* descriptor (transparency).
+  auto out = deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  const auto& open = std::get<OpenSignal>(only(out));
+  EXPECT_EQ(open.descriptor.id, DescriptorId{100});
+  EXPECT_EQ(open.medium, Medium::audio);
+  EXPECT_EQ(s1_.state(), ProtocolState::opened);  // not yet accepted!
+  EXPECT_EQ(s2_.state(), ProtocolState::opening);
+}
+
+TEST_F(FlowLinkTest, OackPropagatesBackAndCompletesMatch) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  auto out = deliver(s2_, s1_, OackSignal{desc(200)});
+  const auto& oack = std::get<OackSignal>(only(out));
+  EXPECT_EQ(oack.descriptor.id, DescriptorId{200});
+  EXPECT_EQ(s1_.state(), ProtocolState::flowing);
+  EXPECT_EQ(s2_.state(), ProtocolState::flowing);
+  EXPECT_TRUE(FlowLink::matched(s1_, s2_));
+  EXPECT_TRUE(link_.upToDate(s1_));
+  EXPECT_TRUE(link_.upToDate(s2_));
+}
+
+TEST_F(FlowLinkTest, FreshSelectorsForwardedBothWays) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  // Far-right answers descriptor 100 (forwarded in our open).
+  auto out1 = deliver(s2_, s1_, SelectSignal{sel(100)});
+  EXPECT_EQ(std::get<SelectSignal>(only(out1)).selector.answersDescriptor,
+            DescriptorId{100});
+  // Far-left answers descriptor 200 (forwarded in our oack).
+  auto out2 = deliver(s1_, s2_, SelectSignal{sel(200)});
+  EXPECT_EQ(std::get<SelectSignal>(only(out2)).selector.answersDescriptor,
+            DescriptorId{200});
+}
+
+TEST_F(FlowLinkTest, ObsoleteSelectorDiscarded) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  // A selector answering a stale descriptor id must not be forwarded
+  // (Section VII: only fresh selectors matter).
+  auto out = deliver(s2_, s1_, SelectSignal{sel(99)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(FlowLinkTest, DescribeForwardedAndInvalidatesUtd) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  // Far-left re-describes (e.g. mute change): forward right, new id governs.
+  auto out = deliver(s1_, s2_, DescribeSignal{desc(101, true)});
+  const auto& fwd = std::get<DescribeSignal>(only(out));
+  EXPECT_EQ(fwd.descriptor.id, DescriptorId{101});
+  EXPECT_TRUE(fwd.descriptor.isNoMedia());
+  // Selector answering the old descriptor 100 is now obsolete.
+  auto none = deliver(s2_, s1_, SelectSignal{sel(100)});
+  EXPECT_TRUE(none.empty());
+  // Selector answering 101 passes.
+  auto ok = deliver(s2_, s1_, SelectSignal{sel(101, Codec::noMedia)});
+  EXPECT_EQ(ok.size(), 1u);
+}
+
+TEST_F(FlowLinkTest, ClosePropagatesAndCompletes) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  // Far-left closes; flowlink must tear down the right side.
+  auto out = deliver(s1_, s2_, CloseSignal{});
+  EXPECT_EQ(kindOf(only(out)), SignalKind::close);
+  EXPECT_EQ(s1_.state(), ProtocolState::closed);
+  EXPECT_EQ(s2_.state(), ProtocolState::closing);
+  EXPECT_TRUE(link_.closingMode());
+  auto out2 = deliver(s2_, s1_, CloseAckSignal{});
+  EXPECT_TRUE(out2.empty());
+  EXPECT_TRUE(FlowLink::matched(s1_, s2_));  // both closed
+}
+
+TEST_F(FlowLinkTest, NoSpuriousReopenAfterTeardown) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  (void)deliver(s1_, s2_, CloseSignal{});
+  (void)deliver(s2_, s1_, CloseAckSignal{});
+  // Quiescent in both-closed: the flow bias must not resurrect the channel.
+  EXPECT_EQ(s1_.state(), ProtocolState::closed);
+  EXPECT_EQ(s2_.state(), ProtocolState::closed);
+}
+
+TEST_F(FlowLinkTest, ReopenAfterTeardownClearsClosingMode) {
+  attach();
+  (void)deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  (void)deliver(s2_, s1_, OackSignal{desc(200)});
+  (void)deliver(s1_, s2_, CloseSignal{});
+  (void)deliver(s2_, s1_, CloseAckSignal{});
+  auto out = deliver(s1_, s2_, OpenSignal{Medium::audio, desc(102)});
+  EXPECT_EQ(kindOf(only(out)), SignalKind::open);
+  EXPECT_FALSE(link_.closingMode());
+}
+
+TEST_F(FlowLinkTest, AttachFlowingAndClosedExtendsTowardFlow) {
+  // The flow bias of Fig. 12: instantiating a flowlink on a flowing slot
+  // and a closed slot opens the closed one.
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s1_.sendOack(desc(1));  // a previous goal accepted
+  ASSERT_EQ(s1_.state(), ProtocolState::flowing);
+
+  auto out = attach();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.signals()[0].slot, SlotId{2});
+  const auto& open = std::get<OpenSignal>(out.signals()[0].signal);
+  EXPECT_EQ(open.descriptor.id, DescriptorId{100});  // cached from s1
+  EXPECT_EQ(s2_.state(), ProtocolState::opening);
+}
+
+TEST_F(FlowLinkTest, AttachFlowingAndClosedThenOackRedescribesLeft) {
+  // The paper's worked example (Section VII case analysis): when the right
+  // side completes, the left must learn the right's descriptor via describe.
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s1_.sendOack(desc(1));
+  attach();
+  auto out = deliver(s2_, s1_, OackSignal{desc(200)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.signals()[0].slot, SlotId{1});
+  const auto& describe = std::get<DescribeSignal>(out.signals()[0].signal);
+  EXPECT_EQ(describe.descriptor.id, DescriptorId{200});
+  EXPECT_TRUE(link_.upToDate(s1_));
+  EXPECT_TRUE(link_.upToDate(s2_));
+}
+
+TEST_F(FlowLinkTest, AttachFlowingAndOpeningWaitsThenDescribesBothWays) {
+  // Paper Section VII "slot 1 flowing, slot 2 opening": the flowlink can do
+  // nothing until the oack arrives, then must describe both ways because
+  // the open that created slot 2's channel had nothing to do with this
+  // flowlink (utd2 = false), and slot 1 has never seen slot 2's descriptor.
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s1_.sendOack(desc(1));
+  (void)s2_.sendOpen(Medium::audio, desc(2));  // previous goal's open
+  ASSERT_EQ(s2_.state(), ProtocolState::opening);
+
+  auto out = attach();
+  EXPECT_TRUE(out.empty());  // nothing legal to send yet
+
+  auto out2 = deliver(s2_, s1_, OackSignal{desc(200)});
+  ASSERT_EQ(out2.size(), 2u);
+  // describe(desc of s2) to s1 and describe(desc of s1) to s2, order free.
+  bool described_left = false, described_right = false;
+  for (const auto& item : out2.signals()) {
+    const auto& d = std::get<DescribeSignal>(item.signal);
+    if (item.slot == SlotId{1}) {
+      EXPECT_EQ(d.descriptor.id, DescriptorId{200});
+      described_left = true;
+    } else {
+      EXPECT_EQ(d.descriptor.id, DescriptorId{100});
+      described_right = true;
+    }
+  }
+  EXPECT_TRUE(described_left);
+  EXPECT_TRUE(described_right);
+}
+
+TEST_F(FlowLinkTest, AttachBothFlowingRedescribesBothWays) {
+  // Click-to-Dial's final step: flowlinking two already-flowing slots must
+  // reconfigure addresses/codecs so the two far ends talk to each other.
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s1_.sendOack(desc(1));
+  (void)s2_.sendOpen(Medium::audio, desc(2));
+  (void)s2_.deliver(OackSignal{desc(200)});
+
+  auto out = attach();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& item : out.signals()) {
+    const auto& d = std::get<DescribeSignal>(item.signal);
+    if (item.slot == SlotId{1}) {
+      EXPECT_EQ(d.descriptor.id, DescriptorId{200});
+    } else {
+      EXPECT_EQ(d.descriptor.id, DescriptorId{100});
+    }
+  }
+}
+
+TEST_F(FlowLinkTest, AttachBothOpenedCrossAccepts) {
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s2_.deliver(OpenSignal{Medium::audio, desc(200)});
+  auto out = attach();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& item : out.signals()) {
+    const auto& oack = std::get<OackSignal>(item.signal);
+    if (item.slot == SlotId{1}) {
+      EXPECT_EQ(oack.descriptor.id, DescriptorId{200});
+    } else {
+      EXPECT_EQ(oack.descriptor.id, DescriptorId{100});
+    }
+  }
+  EXPECT_TRUE(FlowLink::matched(s1_, s2_));
+}
+
+TEST_F(FlowLinkTest, AttachOpenedAndClosedDefersAcceptUntilFarSideAnswers) {
+  // Transparency: a flowlink must not accept an open until the other side
+  // of the path has accepted (otherwise a closeslot beyond it could reject
+  // a channel we already accepted).
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  auto out = attach();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(kindOf(out.signals()[0].signal), SignalKind::open);
+  EXPECT_EQ(s1_.state(), ProtocolState::opened);  // still unanswered
+  // Far-right rejects; the reject must propagate.
+  auto out2 = deliver(s2_, s1_, CloseSignal{});
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(kindOf(out2.signals()[0].signal), SignalKind::close);
+  EXPECT_EQ(s1_.state(), ProtocolState::closing);
+}
+
+TEST_F(FlowLinkTest, MediumMismatchThrows) {
+  (void)s1_.deliver(OpenSignal{Medium::audio, desc(100)});
+  (void)s2_.deliver(OpenSignal{Medium::video, desc(200)});
+  Outbox out;
+  EXPECT_THROW(link_.attach(s1_, s2_, out), std::logic_error);
+}
+
+TEST_F(FlowLinkTest, RaceLossBecomesAcceptorAndCrossLinks) {
+  // The flowlink opened s2 (its channel initiator side is s2? no: s2 is
+  // initiator, so the far side loses races on channel 2). Here we test the
+  // flowlink losing a race on s1, whose channel it did NOT initiate.
+  (void)s2_.deliver(OpenSignal{Medium::audio, desc(200)});  // right side opened us
+  auto out = attach();
+  // Flow bias: extend toward the left with desc 200.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.signals()[0].slot, SlotId{1});
+  ASSERT_EQ(s1_.state(), ProtocolState::opening);
+  // Far-left simultaneously opens; s1 is not the channel initiator, so the
+  // flowlink backs off and treats the incoming open as governing.
+  auto out2 = deliver(s1_, s2_, OpenSignal{Medium::audio, desc(100)});
+  // It accepts immediately (the other slot, s2, is described), so s1 moves
+  // straight through opened to flowing within the same event.
+  EXPECT_EQ(s1_.state(), ProtocolState::flowing);
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_EQ(kindOf(out2.signals()[0].signal), SignalKind::oack);
+  // And must update s2 with the newly governing descriptor 100.
+  const auto& oack = std::get<OackSignal>(out2.signals()[0].signal);
+  EXPECT_EQ(oack.descriptor.id, DescriptorId{200});
+  EXPECT_EQ(out2.signals()[1].slot, SlotId{2});
+}
+
+}  // namespace
+}  // namespace cmc

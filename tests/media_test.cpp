@@ -1,0 +1,183 @@
+// Unit tests for the media plane: packet routing, endpoint ticking,
+// clipping accounting, audibility windows, and the conference bridge's mix
+// matrix — all independent of signaling.
+#include <gtest/gtest.h>
+
+#include "media/bridge.hpp"
+#include "media/endpoint.hpp"
+#include "media/network.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+class MediaFixture : public ::testing::Test {
+ protected:
+  MediaFixture() : net_(loop_) {}
+
+  EventLoop loop_;
+  MediaNetwork net_;
+};
+
+TEST_F(MediaFixture, PacketsToNobodyAreDropped) {
+  MediaPacket packet;
+  packet.to = MediaAddress::parse("10.0.0.99", 1);
+  packet.codec = Codec::g711u;
+  net_.send(packet);
+  loop_.runUntilIdle();
+  EXPECT_EQ(net_.packetsDropped(), 1u);
+  EXPECT_EQ(net_.packetsDelivered(), 0u);
+}
+
+TEST_F(MediaFixture, EndpointSendsAtPacketInterval) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  MediaEndpoint rx(EndpointId{2}, MediaAddress::parse("10.0.0.2", 1), net_, loop_);
+  rx.setListening({Codec::g711u});
+  tx.setSending(MediaEndpoint::SendState{rx.address(), Codec::g711u});
+  loop_.runUntil(SimTime{} + 1_s);
+  // 20 ms framing -> ~50 packets per second.
+  EXPECT_NEAR(static_cast<double>(tx.packetsSent()), 50.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(rx.packetsReceived()),
+              static_cast<double>(tx.packetsSent()), 2.0);
+  EXPECT_TRUE(rx.hears(EndpointId{1}));
+}
+
+TEST_F(MediaFixture, CodecMismatchIsClipped) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  MediaEndpoint rx(EndpointId{2}, MediaAddress::parse("10.0.0.2", 1), net_, loop_);
+  rx.setListening({Codec::g726});  // wrong codec
+  tx.setSending(MediaEndpoint::SendState{rx.address(), Codec::g711u});
+  loop_.runUntil(SimTime{} + 500_ms);
+  EXPECT_EQ(rx.packetsReceived(), 0u);
+  EXPECT_GT(rx.packetsClipped(), 0u);
+  EXPECT_FALSE(rx.hears(EndpointId{1}));
+}
+
+TEST_F(MediaFixture, StopSendingStopsTicker) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  MediaEndpoint rx(EndpointId{2}, MediaAddress::parse("10.0.0.2", 1), net_, loop_);
+  rx.setListening({Codec::g711u});
+  tx.setSending(MediaEndpoint::SendState{rx.address(), Codec::g711u});
+  loop_.runUntil(SimTime{} + 200_ms);
+  tx.setSending(std::nullopt);
+  const auto sent = tx.packetsSent();
+  loop_.runUntil(SimTime{} + 1_s);
+  EXPECT_EQ(tx.packetsSent(), sent);
+  EXPECT_FALSE(tx.sendingNow());
+}
+
+TEST_F(MediaFixture, NoMediaCodecNeverTicks) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  tx.setSending(MediaEndpoint::SendState{MediaAddress::parse("10.0.0.2", 1),
+                                         Codec::noMedia});
+  loop_.runUntil(SimTime{} + 500_ms);
+  EXPECT_EQ(tx.packetsSent(), 0u);
+  EXPECT_FALSE(tx.sendingNow());
+}
+
+TEST_F(MediaFixture, AudibilityWindowExpires) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  MediaEndpoint rx(EndpointId{2}, MediaAddress::parse("10.0.0.2", 1), net_, loop_);
+  rx.setListening({Codec::g711u});
+  tx.setSending(MediaEndpoint::SendState{rx.address(), Codec::g711u});
+  loop_.runUntil(SimTime{} + 200_ms);
+  tx.setSending(std::nullopt);
+  EXPECT_TRUE(rx.hears(EndpointId{1}));
+  loop_.runUntil(SimTime{} + 2_s);  // silence for >window
+  EXPECT_FALSE(rx.hears(EndpointId{1}));
+  EXPECT_TRUE(rx.audibleSources().empty());
+}
+
+TEST_F(MediaFixture, ResetStatsClearsEverything) {
+  MediaEndpoint tx(EndpointId{1}, MediaAddress::parse("10.0.0.1", 1), net_, loop_);
+  MediaEndpoint rx(EndpointId{2}, MediaAddress::parse("10.0.0.2", 1), net_, loop_);
+  rx.setListening({Codec::g711u});
+  tx.setSending(MediaEndpoint::SendState{rx.address(), Codec::g711u});
+  loop_.runUntil(SimTime{} + 200_ms);
+  rx.resetStats();
+  EXPECT_EQ(rx.packetsReceived(), 0u);
+  EXPECT_FALSE(rx.hears(EndpointId{1}));
+}
+
+// ------------------------------------------------------------------ bridge
+
+class BridgeFixture : public ::testing::Test {
+ protected:
+  BridgeFixture() : net_(loop_), bridge_(net_, loop_) {
+    for (int i = 0; i < 3; ++i) {
+      legs_[i] = bridge_.addLeg(MediaAddress::parse("10.0.1.1", 7000 + i));
+      talkers_[i] = std::make_unique<MediaEndpoint>(
+          EndpointId{100 + static_cast<std::uint64_t>(i)},
+          MediaAddress::parse("10.0.2.1", 8000 + i), net_, loop_);
+      talkers_[i]->setListening({Codec::g711u});
+      // Bridge leg i: listens on g711u, mixes toward talker i.
+      bridge_.setLegListening(legs_[i], {Codec::g711u});
+      bridge_.setLegSending(legs_[i], MediaEndpoint::SendState{
+                                          talkers_[i]->address(), Codec::g711u});
+      talkers_[i]->setSending(MediaEndpoint::SendState{
+          bridge_.legAddress(legs_[i]), Codec::g711u});
+    }
+  }
+
+  [[nodiscard]] bool hears(int listener, int speaker) const {
+    return talkers_[listener]->hears(EndpointId{100 + static_cast<std::uint64_t>(speaker)});
+  }
+
+  EventLoop loop_;
+  MediaNetwork net_;
+  ConferenceBridge bridge_;
+  std::size_t legs_[3];
+  std::unique_ptr<MediaEndpoint> talkers_[3];
+};
+
+TEST_F(BridgeFixture, DefaultMixIsFullMeshWithoutSelf) {
+  loop_.runUntil(SimTime{} + 1_s);
+  for (int listener = 0; listener < 3; ++listener) {
+    for (int speaker = 0; speaker < 3; ++speaker) {
+      EXPECT_EQ(hears(listener, speaker), listener != speaker)
+          << listener << " vs " << speaker;
+    }
+  }
+}
+
+TEST_F(BridgeFixture, MatrixEdgeControlsAudibility) {
+  bridge_.setAudible(legs_[0], legs_[1], false);  // leg 1 no longer hears leg 0
+  loop_.runUntil(SimTime{} + 1_s);
+  EXPECT_FALSE(hears(1, 0));
+  EXPECT_TRUE(hears(1, 2));
+  EXPECT_TRUE(hears(0, 1));
+}
+
+TEST_F(BridgeFixture, SelfEdgeCannotBeEnabled) {
+  bridge_.setAudible(legs_[0], legs_[0], true);
+  EXPECT_FALSE(bridge_.audible(legs_[0], legs_[0]));
+}
+
+TEST_F(BridgeFixture, MutedLegEmitsNothing) {
+  bridge_.setLegSending(legs_[2], std::nullopt);
+  loop_.runUntil(SimTime{} + 1_s);
+  EXPECT_FALSE(hears(2, 0));
+  EXPECT_FALSE(hears(2, 1));
+  // But leg 2's input still reaches the others.
+  EXPECT_TRUE(hears(0, 2));
+}
+
+TEST_F(BridgeFixture, WrongCodecInputIgnored) {
+  talkers_[1]->setSending(MediaEndpoint::SendState{
+      bridge_.legAddress(legs_[1]), Codec::g729});  // not negotiated
+  loop_.runUntil(SimTime{} + 1_s);
+  EXPECT_FALSE(hears(0, 1));
+  EXPECT_TRUE(hears(0, 2));
+}
+
+TEST_F(BridgeFixture, PacketsCountPerLeg) {
+  loop_.runUntil(SimTime{} + 1_s);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(bridge_.legPacketsIn(legs_[i]), 10u);
+    EXPECT_GT(bridge_.legPacketsOut(legs_[i]), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,151 @@
+// Tests for mid-channel modifications beyond muting (paper Section VI-B
+// and footnote 4): unilateral codec re-selection within an episode, and
+// endpoint address migration (the mobility application of Section X-F) —
+// end to end, through flowlink boxes, with media following.
+#include <gtest/gtest.h>
+
+#include "core/path.hpp"
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+using K = GoalKind;
+
+// ------------------------------------------------ protocol-level (PathSystem)
+
+TEST(Reselect, CodecSwitchWithinDescriptorList) {
+  PathSystem path(PathSystem::makeGoal(K::openSlot, PathEnd::left),
+                  PathSystem::makeGoal(K::openSlot, PathEnd::right), 1);
+  path.run();
+  ASSERT_TRUE(path.bothFlowing());
+  // Initial choice is the best common codec.
+  ASSERT_EQ(path.endpointSlot(PathEnd::right).lastSelectorReceived()->codec,
+            Codec::g711u);
+  // Left switches to the lower-bandwidth codec the right also offered.
+  // (Drive the goal directly through the path's goal accessors via a mute
+  // no-op + manual check: PathSystem has no reselect action, so exercise
+  // the goal API through the simulator below; here check protocol legality
+  // via SlotEndpoint.)
+  SUCCEED();
+}
+
+// --------------------------------------------------------- simulator level
+
+class ModifyFixture : public ::testing::Test {
+ protected:
+  ModifyFixture()
+      : sim_(TimingModel::paperDefaults(), 23),
+        a_(sim_.addBox<UserDeviceBox>("A", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.6.0.1", 5000))),
+        b_(sim_.addBox<UserDeviceBox>("B", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.6.0.2", 5000))) {
+    sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+    sim_.runFor(1_s);
+  }
+
+  Simulator sim_;
+  UserDeviceBox& a_;
+  UserDeviceBox& b_;
+};
+
+TEST_F(ModifyFixture, CodecSwitchMidCall) {
+  ASSERT_TRUE(a_.inCall());
+  ASSERT_EQ(a_.media().sendingState()->codec, Codec::g711u);
+  // A switches to G.726 (offered by B) without renegotiation.
+  bool switched = false;
+  sim_.inject("A", [&switched](Box& bx) {
+    switched = static_cast<UserDeviceBox&>(bx).switchCodec(Codec::g726);
+  });
+  sim_.runFor(500_ms);
+  EXPECT_TRUE(switched);
+  EXPECT_EQ(a_.media().sendingState()->codec, Codec::g726);
+  // B keeps receiving (it listens per the selectors it receives).
+  b_.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_GT(b_.media().packetsReceived(), 20u);
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+}
+
+TEST_F(ModifyFixture, CodecNotOfferedIsRefused) {
+  bool switched = true;
+  sim_.inject("A", [&switched](Box& bx) {
+    switched = static_cast<UserDeviceBox&>(bx).switchCodec(Codec::g729);
+  });
+  sim_.runFor(200_ms);
+  EXPECT_FALSE(switched);
+  EXPECT_EQ(a_.media().sendingState()->codec, Codec::g711u);  // unchanged
+}
+
+TEST_F(ModifyFixture, AddressMigrationMidCall) {
+  ASSERT_TRUE(b_.media().hears(a_.media().id()));
+  // A moves to a new address (e.g. WiFi -> cellular). The describe goes out
+  // and B's subsequent packets must land at the new address.
+  const MediaAddress new_addr = MediaAddress::parse("10.6.9.9", 6000);
+  sim_.inject("A", [new_addr](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).migrate(new_addr);
+  });
+  sim_.runFor(1_s);
+  EXPECT_EQ(a_.media().address(), new_addr);
+  EXPECT_EQ(b_.media().sendingState()->target, new_addr);
+  a_.media().resetStats();
+  b_.media().resetStats();
+  sim_.runFor(1_s);
+  // Two-way media continues at the new address.
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+  EXPECT_EQ(a_.media().packetsClipped(), 0u);
+}
+
+TEST_F(ModifyFixture, MigrationIsIdempotent) {
+  const MediaAddress same = a_.media().address();
+  sim_.inject("A", [same](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).migrate(same);
+  });
+  const auto before = sim_.signalsDelivered();
+  sim_.runFor(500_ms);
+  // No descriptor change -> no signaling traffic.
+  EXPECT_EQ(sim_.signalsDelivered(), before);
+}
+
+TEST_F(ModifyFixture, DoubleMigration) {
+  const MediaAddress addr1 = MediaAddress::parse("10.6.9.1", 6000);
+  const MediaAddress addr2 = MediaAddress::parse("10.6.9.2", 6000);
+  sim_.inject("A", [addr1](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).migrate(addr1);
+  });
+  sim_.runFor(300_ms);
+  sim_.inject("A", [addr2](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).migrate(addr2);
+  });
+  sim_.runFor(1_s);
+  EXPECT_EQ(b_.media().sendingState()->target, addr2);
+  a_.media().resetStats();
+  sim_.runFor(500_ms);
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+}
+
+TEST_F(ModifyFixture, MigrationWhileMutedAppliesOnUnmute) {
+  sim_.inject("A", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).setMute(/*in=*/true, false);
+  });
+  sim_.runFor(300_ms);
+  const MediaAddress new_addr = MediaAddress::parse("10.6.9.7", 6000);
+  sim_.inject("A", [new_addr](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).migrate(new_addr);
+  });
+  sim_.runFor(300_ms);
+  // Muted-in: B should not be sending at all right now.
+  EXPECT_FALSE(b_.media().sendingNow());
+  sim_.inject("A", [](Box& bx) {
+    static_cast<UserDeviceBox&>(bx).setMute(false, false);
+  });
+  sim_.runFor(1_s);
+  EXPECT_TRUE(b_.media().sendingNow());
+  EXPECT_EQ(b_.media().sendingState()->target, new_addr);
+}
+
+}  // namespace
+}  // namespace cmc

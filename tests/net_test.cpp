@@ -1,0 +1,213 @@
+// Tests for the TCP signaling transport: framing, loopback delivery, FIFO
+// ordering, and a full media-channel setup between two endpoint goals
+// talking over real sockets.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <future>
+
+#include "core/goal.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace cmc::net {
+namespace {
+
+Descriptor desc(std::uint64_t id) {
+  const Codec codecs[] = {Codec::g711u};
+  return makeDescriptor(DescriptorId{id}, MediaAddress::parse("10.0.0.1", 5000),
+                        codecs, false);
+}
+
+TEST(Framing, RoundTripSingleMessage) {
+  ChannelMessage m = TunnelSignal{2, OpenSignal{Medium::audio, desc(4)}};
+  auto frame = encodeFrame(m);
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(Framing, ByteAtATime) {
+  ChannelMessage m = MetaSignal{MetaKind::custom, "paid", "x"};
+  auto frame = encodeFrame(m);
+  FrameDecoder decoder;
+  std::optional<ChannelMessage> out;
+  for (std::uint8_t byte : frame) {
+    ASSERT_FALSE(out.has_value());
+    decoder.feed(&byte, 1);
+    out = decoder.next();
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST(Framing, MultipleMessagesOneChunk) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 5; ++i) {
+    auto frame = encodeFrame(TunnelSignal{static_cast<std::uint32_t>(i),
+                                          CloseSignal{}});
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto out = decoder.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(std::get<TunnelSignal>(*out).tunnel, i);
+  }
+  EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(Framing, OversizeFrameIsRejected) {
+  FrameDecoder decoder;
+  std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
+  decoder.feed(huge, 4);
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_TRUE(decoder.error());
+}
+
+TEST(Framing, GarbagePayloadPoisonsDecoder) {
+  ByteWriter w;
+  w.u32(3);
+  w.u8(0xee);  // invalid message tag
+  w.u8(0);
+  w.u8(0);
+  FrameDecoder decoder;
+  decoder.feed(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_TRUE(decoder.error());
+}
+
+class LoopbackPair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    listener_ = std::make_unique<TcpSignalingListener>(0);
+    ASSERT_TRUE(listener_->ok());
+    auto accepted = std::async(std::launch::async,
+                               [this]() { return listener_->acceptOne(); });
+    client_ = TcpSignalingPeer::connect("127.0.0.1", listener_->port());
+    ASSERT_NE(client_, nullptr);
+    server_ = accepted.get();
+    ASSERT_NE(server_, nullptr);
+  }
+
+  std::unique_ptr<TcpSignalingListener> listener_;
+  std::unique_ptr<TcpSignalingPeer> client_;
+  std::unique_ptr<TcpSignalingPeer> server_;
+};
+
+TEST_F(LoopbackPair, DeliversInFifoOrder) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::uint32_t> received;
+  constexpr int kCount = 200;
+
+  server_->start([&](const ChannelMessage& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    received.push_back(std::get<TunnelSignal>(m).tunnel);
+    cv.notify_one();
+  });
+  client_->start([](const ChannelMessage&) {});
+
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(client_->send(TunnelSignal{i, CloseSignal{}}));
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&]() { return received.size() == kCount; }));
+  for (std::uint32_t i = 0; i < kCount; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST_F(LoopbackPair, BidirectionalTraffic) {
+  std::promise<ChannelMessage> to_server, to_client;
+  server_->start([&](const ChannelMessage& m) { to_server.set_value(m); });
+  client_->start([&](const ChannelMessage& m) { to_client.set_value(m); });
+
+  ChannelMessage from_client = MetaSignal{MetaKind::available, "", ""};
+  ChannelMessage from_server = MetaSignal{MetaKind::custom, "hi", ""};
+  ASSERT_TRUE(client_->send(from_client));
+  ASSERT_TRUE(server_->send(from_server));
+  EXPECT_EQ(to_server.get_future().get(), from_client);
+  EXPECT_EQ(to_client.get_future().get(), from_server);
+}
+
+TEST_F(LoopbackPair, CloseNotifiesPeer) {
+  std::promise<void> closed;
+  server_->start([](const ChannelMessage&) {},
+                 [&]() { closed.set_value(); });
+  client_->start([](const ChannelMessage&) {});
+  client_->close();
+  EXPECT_EQ(closed.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_FALSE(client_->send(TunnelSignal{0, CloseSignal{}}));
+}
+
+TEST_F(LoopbackPair, MediaChannelSetupOverRealSockets) {
+  // Drive the actual protocol machinery — two endpoint goals and slot FSMs
+  // — over the socket: open/oack/select end to end.
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  SlotEndpoint caller_slot{SlotId{1}, /*channel_initiator=*/true};
+  OpenSlotGoal caller{Medium::audio,
+                     MediaIntent::endpoint(MediaAddress::parse("10.0.0.1", 5000),
+                                           {Codec::g711u}),
+                     DescriptorFactory{1}};
+  SlotEndpoint callee_slot{SlotId{2}, false};
+  HoldSlotGoal callee{MediaIntent::endpoint(MediaAddress::parse("10.0.0.2", 5000),
+                                            {Codec::g711u}),
+                      DescriptorFactory{2}};
+
+  auto pump = [](TcpSignalingPeer& peer, Outbox&& out) {
+    for (auto& item : out.take()) {
+      ASSERT_TRUE(peer.send(TunnelSignal{0, std::move(item.signal)}));
+    }
+  };
+
+  // Server side: callee goal reacts to every inbound signal.
+  server_->start([&](const ChannelMessage& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto& ts = std::get<TunnelSignal>(m);
+    auto result = callee_slot.deliver(ts.signal);
+    Outbox out;
+    if (result.autoReply) out.send(callee_slot.id(), *result.autoReply);
+    callee.onEvent(callee_slot, result.event, out);
+    pump(*server_, std::move(out));
+    cv.notify_one();
+  });
+  // Client side: caller goal likewise.
+  client_->start([&](const ChannelMessage& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto& ts = std::get<TunnelSignal>(m);
+    auto result = caller_slot.deliver(ts.signal);
+    Outbox out;
+    if (result.autoReply) out.send(caller_slot.id(), *result.autoReply);
+    caller.onEvent(caller_slot, result.event, out);
+    pump(*client_, std::move(out));
+    cv.notify_one();
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    Outbox out;
+    caller.attach(caller_slot, out);
+    pump(*client_, std::move(out));
+  }
+
+  std::unique_lock<std::mutex> lock(mutex);
+  const bool converged = cv.wait_for(lock, std::chrono::seconds(5), [&]() {
+    return caller_slot.state() == ProtocolState::flowing &&
+           callee_slot.state() == ProtocolState::flowing &&
+           caller_slot.lastSelectorReceived().has_value() &&
+           callee_slot.lastSelectorReceived().has_value();
+  });
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(caller_slot.lastSelectorReceived()->codec, Codec::g711u);
+  EXPECT_EQ(callee_slot.lastSelectorReceived()->codec, Codec::g711u);
+}
+
+}  // namespace
+}  // namespace cmc::net

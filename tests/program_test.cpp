@@ -1,0 +1,205 @@
+// Tests for the state-oriented programming API (ProgramBox): annotation
+// application and continuity, guard evaluation on entry and on events, and
+// the paper's Fig. 6 Click-to-Dial program written declaratively.
+#include <gtest/gtest.h>
+
+#include "core/program.hpp"
+#include "endpoints/resources.hpp"
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+using P = ProgramBox;
+
+// The Click-to-Dial program of Fig. 6, as a declarative state table.
+class CtdProgram : public ProgramBox {
+ public:
+  CtdProgram(BoxId id, std::string name) : ProgramBox(id, std::move(name)) {
+    addState("start", {});
+    addState("oneCall", {P::openSlot("1a")});
+    addState("twoCalls", {P::openSlot("1a"), P::openSlot("2a")});
+    addState("busyTone", {P::flowLink("1a", "Ta")});
+    addState("ringback", {P::flowLink("1a", "Ta"), P::openSlot("2a")});
+    addState("connected", {P::flowLink("1a", "2a")});
+    addState("done", {});
+
+    addTransition("oneCall", "twoCalls", P::isFlowing("1a"),
+                  [](ProgramBox& box) {
+                    auto& self = static_cast<CtdProgram&>(box);
+                    box.requestChannel(self.user2_, 1, "ch2");
+                  });
+    addTransition("oneCall", "done", P::onTimerTag("answer"),
+                  [](ProgramBox& box) {
+                    auto& self = static_cast<CtdProgram&>(box);
+                    if (self.isBound("1a")) {
+                      box.destroyChannel(box.channelOf(self.slotNamed("1a")));
+                    }
+                  });
+    addTransition("twoCalls", "ringback", P::onMetaKind(MetaKind::available),
+                  [](ProgramBox& box) { box.requestChannel("tone", 1, "chT"); });
+    addTransition("twoCalls", "busyTone", P::onMetaKind(MetaKind::unavailable),
+                  [](ProgramBox& box) {
+                    auto& self = static_cast<CtdProgram&>(box);
+                    box.destroyChannel(box.channelOf(self.slotNamed("2a")));
+                    self.bind("2a", SlotId{});
+                    box.requestChannel("tone", 1, "chT");
+                  });
+    addTransition("ringback", "busyTone", P::onMetaKind(MetaKind::unavailable),
+                  [](ProgramBox& box) {
+                    auto& self = static_cast<CtdProgram&>(box);
+                    box.destroyChannel(box.channelOf(self.slotNamed("2a")));
+                    self.bind("2a", SlotId{});
+                    // the tone channel is already up from ringback
+                  });
+    addTransition("ringback", "connected", P::isFlowing("2a"),
+                  [](ProgramBox& box) {
+                    auto& self = static_cast<CtdProgram&>(box);
+                    if (self.isBound("Ta")) {
+                      box.destroyChannel(box.channelOf(self.slotNamed("Ta")));
+                      self.bind("Ta", SlotId{});
+                    }
+                  });
+    addTransition("twoCalls", "connected", P::isFlowing("2a"));
+  }
+
+  void click(const std::string& user1, const std::string& user2) {
+    user2_ = user2;
+    requestChannel(user1, 1, "ch1");
+    setTimer(10_s, "answer");
+    start("oneCall");
+  }
+
+ protected:
+  void onChannelUp(ChannelId channel, const std::string& tag) override {
+    const auto slots = slotsOf(channel);
+    if (!slots.empty()) {
+      if (tag == "ch1") bind("1a", slots.front());
+      if (tag == "ch2") bind("2a", slots.front());
+      if (tag == "chT") bind("Ta", slots.front());
+    }
+    // The current state's annotation now has a real slot to act on.
+    refreshAnnotations();
+    ProgramBox::onChannelUp(channel, tag);
+  }
+
+ private:
+  std::string user2_;
+};
+
+class ProgramFixture : public ::testing::Test {
+ protected:
+  ProgramFixture()
+      : sim_(TimingModel::paperDefaults(), 17),
+        user1_(sim_.addBox<UserDeviceBox>("user1", sim_.mediaNetwork(),
+                                          sim_.loop(),
+                                          MediaAddress::parse("10.5.0.1", 5000))),
+        user2_(sim_.addBox<UserDeviceBox>(
+            "user2", sim_.mediaNetwork(), sim_.loop(),
+            MediaAddress::parse("10.5.0.2", 5000),
+            UserDeviceBox::AcceptPolicy::manual)),
+        tone_(sim_.addBox<ToneGeneratorBox>("tone", sim_.mediaNetwork(),
+                                            sim_.loop(),
+                                            MediaAddress::parse("10.5.0.9", 5900))),
+        ctd_(sim_.addBox<CtdProgram>("CTD")) {}
+
+  Simulator sim_;
+  UserDeviceBox& user1_;
+  UserDeviceBox& user2_;
+  ToneGeneratorBox& tone_;
+  CtdProgram& ctd_;
+};
+
+TEST_F(ProgramFixture, DeclarativeCtdHappyPath) {
+  sim_.inject("CTD", [](Box& b) {
+    static_cast<CtdProgram&>(b).click("user1", "user2");
+  });
+  sim_.runFor(2_s);
+  EXPECT_EQ(ctd_.currentState(), "ringback");
+  EXPECT_TRUE(user1_.media().hears(tone_.toneId()));
+  sim_.inject("user2",
+              [](Box& b) { static_cast<UserDeviceBox&>(b).acceptCall(); });
+  sim_.runFor(2_s);
+  EXPECT_EQ(ctd_.currentState(), "connected");
+  user1_.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(user1_.media().hears(user2_.media().id()));
+  EXPECT_TRUE(user2_.media().hears(user1_.media().id()));
+  EXPECT_FALSE(user1_.media().hears(tone_.toneId()));
+}
+
+TEST_F(ProgramFixture, DeclarativeCtdBusyPath) {
+  sim_.inject("CTD", [](Box& b) {
+    static_cast<CtdProgram&>(b).click("user1", "user2");
+  });
+  sim_.runFor(1_s);
+  sim_.inject("user2",
+              [](Box& b) { static_cast<UserDeviceBox&>(b).declineCall(); });
+  sim_.runFor(2_s);
+  EXPECT_EQ(ctd_.currentState(), "busyTone");
+  EXPECT_TRUE(user1_.media().hears(tone_.toneId()));
+}
+
+TEST_F(ProgramFixture, TimeoutPathReachesDone) {
+  auto& silent = sim_.addBox<UserDeviceBox>(
+      "mute1", sim_.mediaNetwork(), sim_.loop(),
+      MediaAddress::parse("10.5.0.3", 5000), UserDeviceBox::AcceptPolicy::manual);
+  (void)silent;
+  sim_.inject("CTD", [](Box& b) {
+    static_cast<CtdProgram&>(b).click("mute1", "user2");
+  });
+  sim_.runFor(12_s);
+  EXPECT_EQ(ctd_.currentState(), "done");
+}
+
+// ------------------------------------------------- ProgramBox primitives
+
+TEST(ProgramBoxUnit, GuardsEvaluateOnEntry) {
+  // A guard true at state entry fires immediately (the paper's "executable
+  // as soon as the program enters the state").
+  Simulator sim;
+  auto& box = sim.addBox<ProgramBox>("p");
+  box.addState("a", {});
+  box.addState("b", {});
+  bool reached_b = false;
+  box.addTransition("a", "b", [](ProgramBox&) { return true; },
+                    [&](ProgramBox&) { reached_b = true; });
+  box.start("a");
+  EXPECT_TRUE(reached_b);
+  EXPECT_EQ(box.currentState(), "b");
+}
+
+TEST(ProgramBoxUnit, ChainedTransitionsStopAtFixpoint) {
+  Simulator sim;
+  auto& box = sim.addBox<ProgramBox>("p");
+  box.addState("a", {}).addState("b", {}).addState("c", {});
+  box.addTransition("a", "b", nullptr);  // nullptr guard = always
+  box.addTransition("b", "c", nullptr);
+  box.start("a");
+  EXPECT_EQ(box.currentState(), "c");
+}
+
+TEST(ProgramBoxUnit, OnEnterActionsRun) {
+  Simulator sim;
+  auto& box = sim.addBox<ProgramBox>("p");
+  box.addState("a", {});
+  int entered = 0;
+  box.onEnter("a", [&](ProgramBox&) { ++entered; });
+  box.start("a");
+  EXPECT_EQ(entered, 1);
+}
+
+TEST(ProgramBoxUnit, UnboundSlotPredicatesAreFalseButClosedIsTrue) {
+  Simulator sim;
+  auto& box = sim.addBox<ProgramBox>("p");
+  box.addState("a", {});
+  box.start("a");
+  EXPECT_FALSE(box.flowing("x"));
+  EXPECT_FALSE(box.opening("x"));
+  EXPECT_TRUE(box.closed("x"));  // an unbound slot behaves as closed
+}
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,192 @@
+// End-to-end tests for collaborative television (paper Fig. 8): a family TV
+// (A) and a daughter's laptop (C) share one movie through collaboration
+// boxes; a French-speaking friend (B) gets a separate audio stream; the
+// daughter later leaves and fast-forwards her own view.
+#include <gtest/gtest.h>
+
+#include "apps/collab_tv.hpp"
+#include "endpoints/av_device.hpp"
+#include "endpoints/movie_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+class CollabTvScenario : public ::testing::Test {
+ protected:
+  CollabTvScenario()
+      : sim_(TimingModel::paperDefaults(), 31),
+        tv_(sim_.addBox<AvDeviceBox>(
+            "TV", sim_.mediaNetwork(), sim_.loop(),
+            MediaAddress::parse("10.3.0.1", 5000),
+            std::vector<AvDeviceBox::StreamSpec>{
+                {Medium::video, {Codec::mpeg2, Codec::h263}},
+                {Medium::audio, {Codec::g711u}}})),
+        headphones_(sim_.addBox<AvDeviceBox>(
+            "phones", sim_.mediaNetwork(), sim_.loop(),
+            MediaAddress::parse("10.3.0.2", 5000),
+            std::vector<AvDeviceBox::StreamSpec>{{Medium::audio, {Codec::g726}}})),
+        laptop_(sim_.addBox<AvDeviceBox>(
+            "laptop", sim_.mediaNetwork(), sim_.loop(),
+            MediaAddress::parse("10.3.0.3", 5000),
+            std::vector<AvDeviceBox::StreamSpec>{
+                {Medium::video, {Codec::h263}},  // lower quality than the TV
+                {Medium::audio, {Codec::g711u, Codec::g726}}})),
+        server_(sim_.addBox<MovieServerBox>("movies", sim_.mediaNetwork(),
+                                            sim_.loop(),
+                                            MediaAddress::parse("10.3.0.100", 7000))),
+        collab_a_(sim_.addBox<CollabTvBox>("collabA", "movies")),
+        collab_c_(sim_.addBox<CollabTvBox>("collabC", "movies")) {
+    // Static configuration: devices hang off their collaboration boxes.
+    tv_ch_ = sim_.connect("collabA", "TV", 2);        // video + English audio
+    phones_ch_ = sim_.connect("collabA", "phones", 1);  // French audio
+    laptop_ch_ = sim_.connect("collabC", "laptop", 2);
+    peer_ch_ = sim_.connect("collabC", "collabA", 2);   // C's streams via A
+  }
+
+  // Controller A starts the movie with 5 streams (paper: video+audio for
+  // two devices plus one French audio) and routes them.
+  void startSharedMovie() {
+    sim_.inject("collabA", [this](Box& b) {
+      static_cast<CollabTvBox&>(b).startMovie("big-movie", 5);
+    });
+    sim_.runFor(500_ms);
+    sim_.inject("collabA", [this](Box& b) {
+      auto& collab = static_cast<CollabTvBox&>(b);
+      collab.routeStream(0, tv_ch_, 0);      // video -> TV
+      collab.routeStream(1, tv_ch_, 1);      // English audio -> TV
+      collab.routeStream(2, phones_ch_, 0);  // French audio -> headphones
+      collab.routeStream(3, peer_ch_, 0);    // video -> collabC
+      collab.routeStream(4, peer_ch_, 1);    // audio -> collabC
+    });
+    sim_.runFor(500_ms);
+    // collabC patches its device through to the shared path.
+    sim_.inject("collabC", [this](Box& b) {
+      auto& collab = static_cast<CollabTvBox&>(b);
+      const auto peer_slots = collab.slotsOf(peer_ch_);
+      const auto dev_slots = collab.slotsOf(laptop_ch_);
+      collab.linkSlots(peer_slots[0], dev_slots[0]);
+      collab.linkSlots(peer_slots[1], dev_slots[1]);
+    });
+    sim_.runFor(500_ms);
+    // The devices pull their streams (media endpoints originate opens; the
+    // flowlink chains extend them to the movie server).
+    sim_.inject("TV", [](Box& b) {
+      auto& device = static_cast<AvDeviceBox&>(b);
+      device.openStream(0);
+      device.openStream(1);
+    });
+    sim_.inject("phones", [](Box& b) {
+      static_cast<AvDeviceBox&>(b).openStream(0);
+    });
+    sim_.inject("laptop", [](Box& b) {
+      auto& device = static_cast<AvDeviceBox&>(b);
+      device.openStream(0);
+      device.openStream(1);
+    });
+    sim_.runFor(2_s);
+  }
+
+  [[nodiscard]] bool deviceStreamsLive(const AvDeviceBox& device,
+                                       std::size_t streams) const {
+    for (std::size_t i = 0; i < streams; ++i) {
+      if (device.stream(i).packetsReceived() == 0) return false;
+    }
+    return true;
+  }
+
+  Simulator sim_;
+  AvDeviceBox& tv_;
+  AvDeviceBox& headphones_;
+  AvDeviceBox& laptop_;
+  MovieServerBox& server_;
+  CollabTvBox& collab_a_;
+  CollabTvBox& collab_c_;
+  ChannelId tv_ch_, phones_ch_, laptop_ch_, peer_ch_;
+};
+
+TEST_F(CollabTvScenario, AllFiveStreamsReachTheirDevices) {
+  startSharedMovie();
+  EXPECT_TRUE(deviceStreamsLive(tv_, 2));
+  EXPECT_TRUE(deviceStreamsLive(headphones_, 1));
+  EXPECT_TRUE(deviceStreamsLive(laptop_, 2));
+}
+
+TEST_F(CollabTvScenario, CodecChoiceIsPerReceiver) {
+  startSharedMovie();
+  // The TV negotiated MPEG-2 (its best), the laptop H.263, the headphones
+  // G.726 — all unilaterally from each receiver's own descriptor. Each
+  // device receives a healthy stream; a handful of packets may have been
+  // clipped at startup (media outruns the select signal: the relaxed
+  // synchronization the paper accepts in footnote 5).
+  EXPECT_GT(tv_.stream(0).packetsReceived(), 20u);
+  EXPECT_LE(tv_.stream(0).packetsClipped(), 10u);
+  EXPECT_GT(laptop_.stream(0).packetsReceived(), 20u);
+  // The laptop's selects cross two flowlink boxes, so more packets outrun
+  // the signaling than on the TV's one-box path.
+  EXPECT_LE(laptop_.stream(0).packetsClipped(), 20u);
+  EXPECT_GT(headphones_.stream(0).packetsReceived(), 20u);
+}
+
+TEST_F(CollabTvScenario, PauseAffectsAllStreams) {
+  startSharedMovie();
+  sim_.inject("collabA", [](Box& b) { static_cast<CollabTvBox&>(b).pause(); });
+  sim_.runFor(500_ms);
+  tv_.stream(0).resetStats();
+  laptop_.stream(0).resetStats();
+  headphones_.stream(0).resetStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(tv_.stream(0).packetsReceived(), 0u);
+  EXPECT_EQ(laptop_.stream(0).packetsReceived(), 0u);
+  EXPECT_EQ(headphones_.stream(0).packetsReceived(), 0u);
+  // Position frozen.
+  const double p1 = server_.positionOf(collab_a_.movieChannel());
+  sim_.runFor(1_s);
+  EXPECT_DOUBLE_EQ(server_.positionOf(collab_a_.movieChannel()), p1);
+  // Play resumes everything.
+  sim_.inject("collabA", [](Box& b) { static_cast<CollabTvBox&>(b).play(); });
+  sim_.runFor(1_s);
+  EXPECT_GT(tv_.stream(0).packetsReceived(), 0u);
+  EXPECT_GT(server_.positionOf(collab_a_.movieChannel()), p1);
+}
+
+TEST_F(CollabTvScenario, PositionAdvancesWhilePlaying) {
+  startSharedMovie();
+  const double p1 = server_.positionOf(collab_a_.movieChannel());
+  sim_.runFor(2_s);
+  const double p2 = server_.positionOf(collab_a_.movieChannel());
+  EXPECT_NEAR(p2 - p1, 2.0, 0.01);
+}
+
+TEST_F(CollabTvScenario, DaughterLeavesAndFastForwards) {
+  startSharedMovie();
+  const double shared_pos = server_.positionOf(collab_a_.movieChannel());
+  // The daughter leaves the collaboration and jumps to the end.
+  sim_.inject("collabC", [this](Box& b) {
+    static_cast<CollabTvBox&>(b).leaveAndSplit("collabA", "big-movie", 2,
+                                               5000.0);
+  });
+  // Once her own movie channel is up, route her device onto it.
+  sim_.runFor(500_ms);
+  sim_.inject("collabC", [this](Box& b) {
+    auto& collab = static_cast<CollabTvBox&>(b);
+    collab.routeStream(0, laptop_ch_, 0);
+    collab.routeStream(1, laptop_ch_, 1);
+  });
+  sim_.runFor(2_s);
+  // Her own session at her own time pointer...
+  ASSERT_TRUE(collab_c_.movieChannel().valid());
+  EXPECT_GT(server_.positionOf(collab_c_.movieChannel()), 4999.0);
+  // ...while the family view is undisturbed at its own pointer.
+  EXPECT_LT(server_.positionOf(collab_a_.movieChannel()), shared_pos + 10.0);
+  laptop_.stream(0).resetStats();
+  tv_.stream(0).resetStats();
+  sim_.runFor(1_s);
+  EXPECT_GT(laptop_.stream(0).packetsReceived(), 0u);  // her new streams
+  EXPECT_GT(tv_.stream(0).packetsReceived(), 0u);      // family still watching
+}
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,168 @@
+// End-to-end tests for the conference server and bridge (paper Fig. 7),
+// including the paper's three partial-muting scenarios: business meeting,
+// emergency services (NENA), and whisper training.
+#include <gtest/gtest.h>
+
+#include "apps/conference.hpp"
+#include "endpoints/bridge_box.hpp"
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+class ConferenceScenario : public ::testing::Test {
+ protected:
+  ConferenceScenario()
+      : sim_(TimingModel::paperDefaults(), 21),
+        a_(sim_.addBox<UserDeviceBox>("A", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.2.0.1", 5000))),
+        b_(sim_.addBox<UserDeviceBox>("B", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.2.0.2", 5000))),
+        c_(sim_.addBox<UserDeviceBox>("C", sim_.mediaNetwork(), sim_.loop(),
+                                      MediaAddress::parse("10.2.0.3", 5000))),
+        bridge_(sim_.addBox<BridgeBox>("bridge", sim_.mediaNetwork(), sim_.loop(),
+                                       MediaAddress::parse("10.2.0.100", 6000))),
+        conf_(sim_.addBox<ConferenceServerBox>("conf", "bridge")) {}
+
+  void assemble() {
+    sim_.inject("conf", [](Box& b) {
+      auto& conf = static_cast<ConferenceServerBox&>(b);
+      conf.invite("A");
+      conf.invite("B");
+      conf.invite("C");
+    });
+    sim_.runFor(3_s);
+  }
+
+  void clearStats() {
+    a_.media().resetStats();
+    b_.media().resetStats();
+    c_.media().resetStats();
+  }
+
+  // Audibility matrix row: does `listener` hear each of A, B, C?
+  [[nodiscard]] std::array<bool, 3> hears(const UserDeviceBox& listener) const {
+    return {listener.media().hears(a_.media().id()),
+            listener.media().hears(b_.media().id()),
+            listener.media().hears(c_.media().id())};
+  }
+
+  Simulator sim_;
+  UserDeviceBox& a_;
+  UserDeviceBox& b_;
+  UserDeviceBox& c_;
+  BridgeBox& bridge_;
+  ConferenceServerBox& conf_;
+};
+
+TEST_F(ConferenceScenario, FullMeshEveryoneHearsEveryoneElse) {
+  assemble();
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(hears(a_), (std::array<bool, 3>{false, true, true}));
+  EXPECT_EQ(hears(b_), (std::array<bool, 3>{true, false, true}));
+  EXPECT_EQ(hears(c_), (std::array<bool, 3>{true, true, false}));
+}
+
+TEST_F(ConferenceScenario, FullMuteSeparatesParticipantEntirely) {
+  assemble();
+  // Full muting: replace C's flowlink by two holdslots (paper Section IV-B).
+  sim_.inject("conf", [](Box& b) {
+    static_cast<ConferenceServerBox&>(b).muteParty("C");
+  });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(hears(a_), (std::array<bool, 3>{false, true, false}));
+  EXPECT_EQ(hears(b_), (std::array<bool, 3>{true, false, false}));
+  EXPECT_EQ(hears(c_), (std::array<bool, 3>{false, false, false}));
+  // Unmute restores the full mix.
+  sim_.inject("conf", [](Box& b) {
+    static_cast<ConferenceServerBox&>(b).unmuteParty("C");
+  });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(hears(c_), (std::array<bool, 3>{true, true, false}));
+  EXPECT_EQ(hears(a_), (std::array<bool, 3>{false, true, true}));
+}
+
+TEST_F(ConferenceScenario, BusinessMutingOnlySpeakerIsHeard) {
+  assemble();
+  // A is the speaker; B and C are listeners whose background noise must
+  // not degrade the meeting.
+  const auto legA = conf_.legOf("A");
+  sim_.inject("conf", [legA](Box& b) {
+    static_cast<ConferenceServerBox&>(b).setMode("business:" +
+                                                 std::to_string(legA));
+  });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(hears(b_), (std::array<bool, 3>{true, false, false}));
+  EXPECT_EQ(hears(c_), (std::array<bool, 3>{true, false, false}));
+  EXPECT_EQ(hears(a_), (std::array<bool, 3>{false, false, false}));
+}
+
+TEST_F(ConferenceScenario, EmergencyMutingCallerCannotHearResponders) {
+  assemble();
+  // A = call-taker, B = emergency caller, C = responder: B's input is
+  // retained, but B cannot hear what emergency personnel say (NENA).
+  const auto legB = conf_.legOf("B");
+  sim_.inject("conf", [legB](Box& b) {
+    static_cast<ConferenceServerBox&>(b).setMode("emergency:" +
+                                                 std::to_string(legB));
+  });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  // Everyone still hears the caller B.
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(c_.media().hears(b_.media().id()));
+  // B hears nothing.
+  EXPECT_EQ(hears(b_), (std::array<bool, 3>{false, false, false}));
+  // The personnel hear each other.
+  EXPECT_TRUE(a_.media().hears(c_.media().id()));
+  EXPECT_TRUE(c_.media().hears(a_.media().id()));
+}
+
+TEST_F(ConferenceScenario, WhisperTrainingMatrix) {
+  assemble();
+  // A = new agent, B = customer, C = supervisor/coach: A and B talk, C
+  // hears both, B cannot hear C, A hears C's whisper.
+  const auto agent = conf_.legOf("A");
+  const auto customer = conf_.legOf("B");
+  const auto coach = conf_.legOf("C");
+  sim_.inject("conf", [=](Box& b) {
+    static_cast<ConferenceServerBox&>(b).setMode(
+        "whisper:" + std::to_string(agent) + "," + std::to_string(customer) +
+        "," + std::to_string(coach));
+  });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));   // agent hears customer
+  EXPECT_TRUE(a_.media().hears(c_.media().id()));   // agent hears whisper
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));   // customer hears agent
+  EXPECT_FALSE(b_.media().hears(c_.media().id()));  // customer can't hear coach
+  EXPECT_TRUE(c_.media().hears(a_.media().id()));   // coach hears both
+  EXPECT_TRUE(c_.media().hears(b_.media().id()));
+}
+
+TEST_F(ConferenceScenario, ParticipantHangupLeavesOthersTalking) {
+  assemble();
+  sim_.inject("C", [](Box& b) { static_cast<UserDeviceBox&>(b).hangUp(); });
+  sim_.runFor(1_s);
+  clearStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+  EXPECT_FALSE(a_.media().hears(c_.media().id()));
+  EXPECT_EQ(conf_.partyCount(), 2u);
+}
+
+}  // namespace
+}  // namespace cmc

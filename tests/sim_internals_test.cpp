@@ -1,0 +1,118 @@
+// Tests for simulator internals: serial-server queueing (the paper's boxes
+// process one stimulus at a time at cost c), network jitter, the delivery
+// hook, and injection ordering.
+#include <gtest/gtest.h>
+
+#include "endpoints/user_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+TEST(SimInternals, StimuliSerializeOnABox) {
+  // Two stimuli injected at t=0 on the same box: the box is a serial
+  // server with processing cost c = 20 ms, so they complete at 20 and 40.
+  Simulator sim(TimingModel::paperDefaults(), 1);
+  sim.addBox<Box>("box");
+  std::vector<double> completions;
+  sim.inject("box", [&](Box&) { completions.push_back(0); });
+  sim.inject("box", [&](Box&) { completions.push_back(0); });
+  sim.runFor(1_s);
+  // Completion times are observable through the loop clock at callback
+  // time; re-run with capture:
+  Simulator sim2(TimingModel::paperDefaults(), 1);
+  sim2.addBox<Box>("box");
+  std::vector<double> at;
+  sim2.inject("box", [&](Box&) { at.push_back(sim2.now().millis()); });
+  sim2.inject("box", [&](Box&) { at.push_back(sim2.now().millis()); });
+  sim2.runFor(1_s);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 20.0);
+  EXPECT_DOUBLE_EQ(at[1], 40.0);
+}
+
+TEST(SimInternals, DifferentBoxesRunInParallel) {
+  Simulator sim(TimingModel::paperDefaults(), 1);
+  sim.addBox<Box>("x");
+  sim.addBox<Box>("y");
+  std::vector<double> at;
+  sim.inject("x", [&](Box&) { at.push_back(sim.now().millis()); });
+  sim.inject("y", [&](Box&) { at.push_back(sim.now().millis()); });
+  sim.runFor(1_s);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 20.0);
+  EXPECT_DOUBLE_EQ(at[1], 20.0);  // not serialized across boxes
+}
+
+TEST(SimInternals, SignalHookSeesDeliveries) {
+  Simulator sim(TimingModel::paperDefaults(), 1);
+  sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.1.1", 5000));
+  sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.1.2", 5000));
+  std::vector<std::string> kinds;
+  sim.onSignalDelivered = [&](const std::string& from, const std::string& to,
+                              const Signal& signal, SimTime) {
+    kinds.push_back(std::string(from) + ">" + to + ":" +
+                    std::string(toString(kindOf(signal))));
+  };
+  sim.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim.runFor(2_s);
+  ASSERT_GE(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], "A>B:open");
+  EXPECT_EQ(kinds[1], "B>A:oack");
+  EXPECT_EQ(kinds[2], "B>A:select");
+  EXPECT_EQ(kinds[3], "A>B:select");
+  EXPECT_EQ(sim.signalsDelivered(), kinds.size());
+}
+
+TEST(SimInternals, JitterSpreadsDeliveries) {
+  TimingModel timing = TimingModel::paperDefaults();
+  timing.network_jitter = 0.5;
+  Simulator sim(timing, 9);
+  sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.1.1", 5000));
+  sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.1.2", 5000));
+  std::vector<double> at;
+  sim.onSignalDelivered = [&](const std::string&, const std::string&,
+                              const Signal&, SimTime t) {
+    at.push_back(t.millis());
+  };
+  sim.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim.runFor(2_s);
+  ASSERT_GE(at.size(), 2u);
+  // The open leaves when the inject stimulus completes (t = c = 20 ms) and
+  // arrives n later; with +/-50% jitter n is in [17, 51] ms.
+  EXPECT_GE(at[0], 20.0 + 17.0 - 0.001);
+  EXPECT_LE(at[0], 20.0 + 51.0 + 0.001);
+  // The call still establishes.
+  auto& a = static_cast<UserDeviceBox&>(sim.box("A"));
+  EXPECT_TRUE(a.inCall());
+}
+
+TEST(SimInternals, ConnectIsImmediatelyUsable) {
+  Simulator sim(TimingModel::paperDefaults(), 1);
+  auto& a = sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                                      MediaAddress::parse("10.9.1.1", 5000));
+  sim.addBox<Box>("hub");
+  const ChannelId ch = sim.connect("A", "hub");
+  EXPECT_TRUE(a.hasChannel(ch));
+  EXPECT_TRUE(sim.box("hub").hasChannel(ch));
+}
+
+TEST(SimInternals, DuplicateBoxNameThrows) {
+  Simulator sim;
+  sim.addBox<Box>("same");
+  EXPECT_THROW(sim.addBox<Box>("same"), std::logic_error);
+}
+
+TEST(SimInternals, UnknownBoxLookupThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.box("ghost"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,204 @@
+// Tests for the discrete-event simulator, timing model, and Box runtime.
+#include <gtest/gtest.h>
+
+#include "endpoints/user_device.hpp"
+#include "media/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+TEST(EventLoopTest, OrdersByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30_ms, [&] { order.push_back(3); });
+  loop.schedule(10_ms, [&] { order.push_back(1); });
+  loop.schedule(20_ms, [&] { order.push_back(2); });
+  EXPECT_TRUE(loop.runUntilIdle());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().millis(), 30.0);
+}
+
+TEST(EventLoopTest, EqualTimesFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(10_ms, [&order, i] { order.push_back(i); });
+  }
+  loop.runUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(1_ms, [&] {
+    ++fired;
+    loop.schedule(1_ms, [&] { ++fired; });
+  });
+  loop.runUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now().millis(), 2.0);
+}
+
+TEST(EventLoopTest, HorizonStopsLoop) {
+  EventLoop loop;
+  std::function<void()> rearm = [&] { loop.schedule(10_ms, rearm); };
+  rearm();
+  EXPECT_FALSE(loop.runUntilIdle(100_ms));
+}
+
+TEST(EventLoopTest, RunUntilLeavesLaterEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10_ms, [&] { ++fired; });
+  loop.schedule(50_ms, [&] { ++fired; });
+  loop.runUntil(SimTime{} + 20_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_EQ(loop.now().millis(), 20.0);
+}
+
+TEST(TimingModelTest, PaperDefaults) {
+  auto t = TimingModel::paperDefaults();
+  EXPECT_EQ(t.network, 34_ms);
+  EXPECT_EQ(t.processing, 20_ms);
+}
+
+TEST(TimingModelTest, JitterBounded) {
+  TimingModel t;
+  t.network_jitter = 0.5;
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    auto n = t.sampleNetwork(rng);
+    EXPECT_GE(n, 17_ms);
+    EXPECT_LE(n, 51_ms);
+  }
+}
+
+// ------------------------------------------------------------- simulator
+
+class TwoPhones : public ::testing::Test {
+ protected:
+  TwoPhones()
+      : sim_(TimingModel::paperDefaults(), 42),
+        media_(sim_.mediaNetwork()),
+        a_(sim_.addBox<UserDeviceBox>("A", media_, sim_.loop(),
+                                      MediaAddress::parse("10.0.0.1", 5000))),
+        b_(sim_.addBox<UserDeviceBox>("B", media_, sim_.loop(),
+                                      MediaAddress::parse("10.0.0.2", 5000))) {}
+
+  Simulator sim_;
+  MediaNetwork& media_;
+  UserDeviceBox& a_;
+  UserDeviceBox& b_;
+};
+
+TEST_F(TwoPhones, DirectCallEstablishesTwoWayMedia) {
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("B");
+  });
+  sim_.runFor(2_s);
+  EXPECT_TRUE(a_.inCall());
+  EXPECT_TRUE(b_.inCall());
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+}
+
+TEST_F(TwoPhones, HangUpStopsMedia) {
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("B");
+  });
+  sim_.runFor(2_s);
+  ASSERT_TRUE(a_.inCall());
+  sim_.inject("A", [](Box& box) { static_cast<UserDeviceBox&>(box).hangUp(); });
+  sim_.runFor(1_s);
+  EXPECT_FALSE(a_.inCall());
+  EXPECT_FALSE(a_.media().sendingNow());
+  const auto received_at_cutoff = b_.media().packetsReceived();
+  sim_.runFor(1_s);
+  // B's device learned of the teardown too; at most a couple of packets
+  // were in flight at cutoff.
+  EXPECT_LE(b_.media().packetsReceived(), received_at_cutoff + 3);
+}
+
+TEST_F(TwoPhones, MuteOutIsOneWay) {
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("B");
+  });
+  sim_.runFor(2_s);
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).setMute(false, /*muteOut=*/true);
+  });
+  sim_.runFor(1_s);
+  a_.media().resetStats();
+  b_.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_EQ(b_.media().packetsReceived(), 0u);  // A is muted
+  EXPECT_GT(a_.media().packetsReceived(), 10u);  // B still talks
+}
+
+TEST_F(TwoPhones, ManualAcceptRingsFirst) {
+  auto& c = sim_.addBox<UserDeviceBox>("C", media_, sim_.loop(),
+                                       MediaAddress::parse("10.0.0.3", 5000),
+                                       UserDeviceBox::AcceptPolicy::manual);
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("C");
+  });
+  sim_.runFor(1_s);
+  EXPECT_TRUE(c.ringing());
+  EXPECT_FALSE(c.inCall());
+  sim_.inject("C", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).acceptCall();
+  });
+  sim_.runFor(1_s);
+  EXPECT_TRUE(c.inCall());
+  EXPECT_TRUE(a_.inCall());
+}
+
+TEST_F(TwoPhones, DeclineLeavesCallerRetrying) {
+  auto& c = sim_.addBox<UserDeviceBox>("C", media_, sim_.loop(),
+                                       MediaAddress::parse("10.0.0.3", 5000),
+                                       UserDeviceBox::AcceptPolicy::manual);
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("C");
+  });
+  sim_.runFor(1_s);
+  sim_.inject("C", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).declineCall();
+  });
+  sim_.runFor(500_ms);
+  EXPECT_FALSE(c.inCall());
+  EXPECT_FALSE(a_.inCall());
+  EXPECT_FALSE(a_.media().sendingNow());
+}
+
+TEST_F(TwoPhones, SignalCountsAreTracked) {
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("B");
+  });
+  sim_.runFor(2_s);
+  // open, oack, select, select at minimum.
+  EXPECT_GE(sim_.signalsDelivered(), 4u);
+}
+
+TEST_F(TwoPhones, SetupLatencyMatchesTimingModel) {
+  // Direct call: A's open computed (c), travels (n), B processes and
+  // answers (c), oack travels (n), A processes (c). B can transmit right
+  // after its oack+select: that is c + n + c after injection... measured
+  // from the injection stimulus completing. We check A hears B strictly
+  // before 10x that bound and media started after the signaling minimum.
+  sim_.inject("A", [](Box& box) {
+    static_cast<UserDeviceBox&>(box).placeCall("B");
+  });
+  sim_.runFor(108_ms);  // c (inject) + c (open compute ... bundled) + n + c
+  // B has just answered; B's media starts at its first tick after enable.
+  EXPECT_TRUE(b_.media().sendingNow());
+  EXPECT_FALSE(a_.media().sendingNow() &&
+               a_.media().packetsReceived() > 0);  // nothing heard yet
+}
+
+}  // namespace
+}  // namespace cmc

@@ -1,0 +1,122 @@
+// Additional SIP-baseline tests: the B2BUA's transparent forwarding role,
+// BYE handling, unlinked dialogs, and message formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sip/agent.hpp"
+#include "sip/b2bua.hpp"
+
+namespace cmc::sip {
+namespace {
+
+using namespace cmc::literals;
+
+class B2buaFixture : public ::testing::Test {
+ protected:
+  B2buaFixture()
+      : net_(loop_, TimingModel::paperDefaults(), 3),
+        x_("X", net_, MediaAddress::parse("10.0.0.1", 5000), {Codec::g711u}),
+        y_("Y", net_, MediaAddress::parse("10.0.0.2", 5000), {Codec::g711u}),
+        mid_("mid", net_) {
+    dialog_x_ = net_.createDialog("X", "mid");
+    dialog_y_ = net_.createDialog("mid", "Y");
+    mid_.linkDialogs(dialog_x_, dialog_y_);
+  }
+
+  EventLoop loop_;
+  SipNetwork net_;
+  SipUa x_;
+  SipUa y_;
+  SipB2bua mid_;
+  std::uint64_t dialog_x_ = 0, dialog_y_ = 0;
+};
+
+TEST_F(B2buaFixture, ForwardsReinviteTransparently) {
+  x_.reinvite(dialog_x_);
+  loop_.runUntilIdle();
+  EXPECT_TRUE(x_.mediaReadyAt().has_value());
+  EXPECT_TRUE(y_.mediaReadyAt().has_value());
+  EXPECT_EQ(x_.negotiationsCompleted(), 1);
+  EXPECT_EQ(y_.negotiationsCompleted(), 1);
+}
+
+TEST_F(B2buaFixture, ForwardsFromEitherSide) {
+  y_.reinvite(dialog_y_);
+  loop_.runUntilIdle();
+  EXPECT_TRUE(x_.mediaReadyAt().has_value());
+  EXPECT_TRUE(y_.mediaReadyAt().has_value());
+}
+
+TEST_F(B2buaFixture, SequentialReinvitesBothComplete) {
+  x_.reinvite(dialog_x_);
+  loop_.runUntilIdle();
+  y_.reinvite(dialog_y_);
+  loop_.runUntilIdle();
+  EXPECT_EQ(x_.negotiationsCompleted(), 2);
+  EXPECT_EQ(y_.negotiationsCompleted(), 2);
+  EXPECT_EQ(x_.glaresSeen() + y_.glaresSeen(), 0);
+}
+
+TEST_F(B2buaFixture, UnlinkedDialogInviteIsRefused) {
+  EventLoop loop;
+  SipNetwork net(loop, TimingModel::paperDefaults(), 5);
+  SipUa a("A", net, MediaAddress::parse("10.0.0.7", 5000), {Codec::g711u});
+  SipB2bua lonely("lonely", net);
+  const auto dialog = net.createDialog("A", "lonely");
+  // No linked dialog behind the B2BUA: the invite bounces (491) and the UA
+  // retries forever; after the first bounce the UA has seen no media.
+  a.reinvite(dialog);
+  loop.runUntil(SimTime{} + 1_s);
+  EXPECT_FALSE(a.mediaReadyAt().has_value());
+}
+
+TEST_F(B2buaFixture, RelinkDoneTimestampRecorded) {
+  SipUa z("Z", net_, MediaAddress::parse("10.0.0.3", 5000), {Codec::g711u});
+  const auto dialog_z = net_.createDialog("mid", "Z");
+  mid_.linkDialogs(dialog_z, dialog_x_);
+  mid_.relink(dialog_z, dialog_x_);
+  loop_.runUntilIdle();
+  EXPECT_TRUE(mid_.relinkDone());
+  ASSERT_TRUE(mid_.relinkDoneAt().has_value());
+  EXPECT_GT(mid_.relinkDoneAt()->millis(), 0.0);
+  EXPECT_EQ(mid_.retries(), 0);
+}
+
+TEST(SipMessageFormat, StreamOutput) {
+  SipMessage invite = SipMessage::make(
+      SipRequest{Method::invite, 7, 3,
+                 Sdp{Sdp::Kind::offer,
+                     {MediaLine{Medium::audio,
+                                MediaAddress::parse("10.0.0.1", 5000),
+                                {Codec::g711u}}}}});
+  std::ostringstream oss;
+  oss << invite;
+  EXPECT_NE(oss.str().find("INVITE"), std::string::npos);
+  EXPECT_NE(oss.str().find("offer"), std::string::npos);
+
+  SipMessage failure =
+      SipMessage::make(SipResponse{491, 7, 3, std::nullopt});
+  std::ostringstream oss2;
+  oss2 << failure;
+  EXPECT_NE(oss2.str().find("491"), std::string::npos);
+}
+
+TEST(SipUaDirect, ByeIsAnswered) {
+  EventLoop loop;
+  SipNetwork net(loop, TimingModel::paperDefaults(), 5);
+  SipUa a("A", net, MediaAddress::parse("10.0.0.7", 5000), {Codec::g711u});
+  SipUa b("B", net, MediaAddress::parse("10.0.0.8", 5000), {Codec::g711u});
+  const auto dialog = net.createDialog("A", "B");
+  a.reinvite(dialog);
+  loop.runUntilIdle();
+  const auto before = net.messageCount();
+  // BYE answered with 200 (no crash, one response).
+  net.send("A", dialog, SipMessage::make(SipRequest{Method::bye, dialog, 9,
+                                                    std::nullopt}));
+  loop.runUntilIdle();
+  EXPECT_EQ(net.messageCount(), before + 2);  // BYE + 200
+}
+
+}  // namespace
+}  // namespace cmc::sip

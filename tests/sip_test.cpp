@@ -1,0 +1,147 @@
+// Tests for the SIP baseline (paper Section IX-B): offer/answer, 3pcc
+// relink, glare failure + retry, and the latency comparison against the
+// compositional protocol (Fig. 13 vs Fig. 14).
+#include <gtest/gtest.h>
+
+#include "sip/agent.hpp"
+#include "sip/b2bua.hpp"
+
+namespace cmc::sip {
+namespace {
+
+using namespace cmc::literals;
+
+class SipFixture : public ::testing::Test {
+ protected:
+  SipFixture()
+      : net_(loop_, TimingModel::paperDefaults(), 5),
+        a_("A", net_, MediaAddress::parse("10.0.0.1", 5000),
+           {Codec::g711u, Codec::g726}),
+        c_("C", net_, MediaAddress::parse("10.0.0.3", 5000),
+           {Codec::g711u, Codec::g726}),
+        pbx_("PBX", net_),
+        pc_("PC", net_) {
+    dialog_a_ = net_.createDialog("A", "PBX");      // A's side
+    dialog_mid_ = net_.createDialog("PBX", "PC");   // server-to-server
+    dialog_c_ = net_.createDialog("PC", "C");       // C's side
+    pbx_.linkDialogs(dialog_a_, dialog_mid_);
+    pc_.linkDialogs(dialog_mid_, dialog_c_);
+  }
+
+  EventLoop loop_;
+  SipNetwork net_;
+  SipUa a_;
+  SipUa c_;
+  SipB2bua pbx_;
+  SipB2bua pc_;
+  std::uint64_t dialog_a_ = 0, dialog_mid_ = 0, dialog_c_ = 0;
+};
+
+TEST_F(SipFixture, DirectReinviteCompletesOfferAnswer) {
+  // UA-to-UA re-INVITE through the forwarding B2BUAs.
+  a_.reinvite(dialog_a_);
+  loop_.runUntilIdle();
+  ASSERT_TRUE(a_.mediaReadyAt().has_value());
+  ASSERT_TRUE(c_.mediaReadyAt().has_value());
+  EXPECT_EQ(a_.glaresSeen(), 0);
+}
+
+TEST_F(SipFixture, RaceFree3pccRelink) {
+  // Only PC relinks: the paper's common case (no contention).
+  pc_.relink(dialog_c_, dialog_mid_);
+  loop_.runUntilIdle();
+  EXPECT_TRUE(pc_.relinkDone());
+  ASSERT_TRUE(a_.mediaReadyAt().has_value());
+  ASSERT_TRUE(c_.mediaReadyAt().has_value());
+  EXPECT_EQ(pc_.glaresSeen(), 0);
+  EXPECT_EQ(pc_.retries(), 0);
+  // Paper: the race-free 3pcc costs about 7n + 7c = 378 ms; allow the
+  // accounting to differ by a couple of hops either way.
+  const double last = std::max(a_.mediaReadyAt()->millis(),
+                               c_.mediaReadyAt()->millis());
+  EXPECT_GT(last, 250.0);
+  EXPECT_LT(last, 550.0);
+}
+
+TEST_F(SipFixture, ConcurrentRelinksGlareAndRecover) {
+  // Fig. 14: both servers relink the shared dialog at once. The INVITEs
+  // meet in the middle; both fail with 491; dummy answers close the
+  // solicited sides; a randomized backoff precedes the successful retry.
+  pbx_.relink(dialog_a_, dialog_mid_);
+  pc_.relink(dialog_c_, dialog_mid_);
+  loop_.runUntilIdle();
+  EXPECT_GE(pbx_.glaresSeen() + pc_.glaresSeen(), 1);
+  EXPECT_GE(pbx_.retries() + pc_.retries(), 1);
+  EXPECT_TRUE(pbx_.relinkDone());
+  EXPECT_TRUE(pc_.relinkDone());
+  ASSERT_TRUE(a_.mediaReadyAt().has_value());
+  ASSERT_TRUE(c_.mediaReadyAt().has_value());
+  // Paper: 10n + 11c + d with E[d] = 3 s gives ~3.5 s; the backoff
+  // dominates. Check the order of magnitude (both retried here, so the
+  // makespan includes the longer backoff).
+  const double last = std::max(a_.mediaReadyAt()->millis(),
+                               c_.mediaReadyAt()->millis());
+  EXPECT_GT(last, 2000.0);
+  EXPECT_LT(last, 10'000.0);
+}
+
+TEST_F(SipFixture, GlareDummyAnswerDoesNotEnableMedia) {
+  pbx_.relink(dialog_a_, dialog_mid_);
+  pc_.relink(dialog_c_, dialog_mid_);
+  // Run only past the glare resolution, before any retry completes.
+  loop_.runUntil(SimTime{} + 1500_ms);
+  // The dummy answers closed the solicited transactions but must not have
+  // made media "ready" on a noMedia answer alone. (Media readiness needs a
+  // real codec.)
+  if (a_.mediaReadyAt()) {
+    EXPECT_GT(a_.mediaReadyAt()->millis(), 1500.0);
+  }
+  SUCCEED();
+}
+
+TEST_F(SipFixture, UaGlareOnSingleDialog) {
+  // Two UAs re-INVITE each other directly on one dialog.
+  EventLoop loop;
+  SipNetwork net(loop, TimingModel::paperDefaults(), 9);
+  SipUa x("X", net, MediaAddress::parse("10.0.0.7", 5000), {Codec::g711u});
+  SipUa y("Y", net, MediaAddress::parse("10.0.0.8", 5000), {Codec::g711u});
+  const auto dialog = net.createDialog("X", "Y");
+  x.reinvite(dialog);
+  y.reinvite(dialog);
+  loop.runUntilIdle();
+  EXPECT_GE(x.glaresSeen() + y.glaresSeen(), 2);
+  // Both eventually complete after backoff.
+  EXPECT_TRUE(x.mediaReadyAt().has_value());
+  EXPECT_TRUE(y.mediaReadyAt().has_value());
+}
+
+TEST_F(SipFixture, AnswerIsSubsetOfOffer) {
+  // C only speaks g726; A offers both; the negotiated answer must be the
+  // intersection.
+  EventLoop loop;
+  SipNetwork net(loop, TimingModel::paperDefaults(), 13);
+  SipUa wide("wide", net, MediaAddress::parse("10.0.0.7", 5000),
+             {Codec::g711u, Codec::g726});
+  SipUa narrow("narrow", net, MediaAddress::parse("10.0.0.8", 5000),
+               {Codec::g726});
+  const auto dialog = net.createDialog("wide", "narrow");
+  wide.reinvite(dialog);
+  loop.runUntilIdle();
+  EXPECT_TRUE(wide.mediaReadyAt().has_value());
+  EXPECT_TRUE(narrow.mediaReadyAt().has_value());
+}
+
+TEST_F(SipFixture, CompositionalProtocolIsFasterSameTimingModel) {
+  // The headline comparison (E6): run the SIP race-free 3pcc and measure;
+  // the compositional protocol's equivalent (Fig. 13) costs 2n + 3c =
+  // 128 ms, under one third of SIP's ~378 ms.
+  pc_.relink(dialog_c_, dialog_mid_);
+  loop_.runUntilIdle();
+  const double sip_ms = std::max(a_.mediaReadyAt()->millis(),
+                                 c_.mediaReadyAt()->millis());
+  const double ours_ms = 2 * 34 + 3 * 20;  // analytic, validated in sim_test
+  EXPECT_GT(sip_ms, 2.5 * ours_ms);
+}
+
+}  // namespace
+}  // namespace cmc::sip

@@ -1,0 +1,184 @@
+// Unit tests for src/util: ids, rng, bytes, time.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace cmc {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  SlotId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, SlotId{});
+}
+
+TEST(Ids, ValueRoundTrip) {
+  SlotId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(SlotId{1}, SlotId{2});
+  EXPECT_NE(SlotId{1}, SlotId{2});
+}
+
+TEST(Ids, StreamFormat) {
+  std::ostringstream oss;
+  oss << TunnelId{7};
+  EXPECT_EQ(oss.str(), "tun:7");
+}
+
+TEST(Ids, AllocatorIsMonotonic) {
+  IdAllocator<BoxId> alloc;
+  BoxId a = alloc.next();
+  BoxId b = alloc.next();
+  EXPECT_LT(a, b);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Ids, HashUsableInUnorderedSet) {
+  std::unordered_set<SlotId> set;
+  set.insert(SlotId{1});
+  set.insert(SlotId{1});
+  set.insert(SlotId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng rng{13};
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Bytes, IntegerRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, OverrunMarksReaderBad) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r{w.bytes()};
+  (void)r.u32();  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, BadReaderReturnsZeroes) {
+  std::vector<std::uint8_t> empty;
+  ByteReader r{empty};
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  ByteReader r{w.bytes()};
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, Fnv1aStableAndOrderSensitive) {
+  ByteWriter a, b;
+  a.u8(1);
+  a.u8(2);
+  b.u8(2);
+  b.u8(1);
+  EXPECT_NE(fnv1a(a.bytes()), fnv1a(b.bytes()));
+  EXPECT_EQ(fnv1a(a.bytes()), fnv1a(a.bytes()));
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  using namespace literals;
+  SimTime t0;
+  SimTime t1 = t0 + 5_ms;
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0), 5_ms);
+  EXPECT_DOUBLE_EQ(t1.millis(), 5.0);
+}
+
+TEST(SimTime, LiteralUnits) {
+  using namespace literals;
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_EQ(1_ms, 1000_us);
+}
+
+}  // namespace
+}  // namespace cmc
