@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naive.dir/bench_ablation_naive.cpp.o"
+  "CMakeFiles/bench_ablation_naive.dir/bench_ablation_naive.cpp.o.d"
+  "bench_ablation_naive"
+  "bench_ablation_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bundling.dir/bench_bundling.cpp.o"
+  "CMakeFiles/bench_bundling.dir/bench_bundling.cpp.o.d"
+  "bench_bundling"
+  "bench_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

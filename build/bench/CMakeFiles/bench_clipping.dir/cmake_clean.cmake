@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clipping.dir/bench_clipping.cpp.o"
+  "CMakeFiles/bench_clipping.dir/bench_clipping.cpp.o.d"
+  "bench_clipping"
+  "bench_clipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

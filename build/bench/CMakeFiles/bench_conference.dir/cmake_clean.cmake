@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conference.dir/bench_conference.cpp.o"
+  "CMakeFiles/bench_conference.dir/bench_conference.cpp.o.d"
+  "bench_conference"
+  "bench_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

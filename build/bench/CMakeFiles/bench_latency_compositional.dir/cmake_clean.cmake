@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_compositional.dir/bench_latency_compositional.cpp.o"
+  "CMakeFiles/bench_latency_compositional.dir/bench_latency_compositional.cpp.o.d"
+  "bench_latency_compositional"
+  "bench_latency_compositional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_compositional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_path_length.dir/bench_latency_path_length.cpp.o"
+  "CMakeFiles/bench_latency_path_length.dir/bench_latency_path_length.cpp.o.d"
+  "bench_latency_path_length"
+  "bench_latency_path_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

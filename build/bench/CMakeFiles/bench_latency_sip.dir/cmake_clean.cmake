@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_sip.dir/bench_latency_sip.cpp.o"
+  "CMakeFiles/bench_latency_sip.dir/bench_latency_sip.cpp.o.d"
+  "bench_latency_sip"
+  "bench_latency_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_correctness.dir/bench_scenario_correctness.cpp.o"
+  "CMakeFiles/bench_scenario_correctness.dir/bench_scenario_correctness.cpp.o.d"
+  "bench_scenario_correctness"
+  "bench_scenario_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statespace_growth.dir/bench_statespace_growth.cpp.o"
+  "CMakeFiles/bench_statespace_growth.dir/bench_statespace_growth.cpp.o.d"
+  "bench_statespace_growth"
+  "bench_statespace_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statespace_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

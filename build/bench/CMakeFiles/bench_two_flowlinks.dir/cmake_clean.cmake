@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_flowlinks.dir/bench_two_flowlinks.cpp.o"
+  "CMakeFiles/bench_two_flowlinks.dir/bench_two_flowlinks.cpp.o.d"
+  "bench_two_flowlinks"
+  "bench_two_flowlinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_flowlinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

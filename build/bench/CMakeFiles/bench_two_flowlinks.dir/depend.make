@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_two_flowlinks.
+# This may be replaced when dependencies are built.

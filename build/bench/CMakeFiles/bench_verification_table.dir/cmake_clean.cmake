@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verification_table.dir/bench_verification_table.cpp.o"
+  "CMakeFiles/bench_verification_table.dir/bench_verification_table.cpp.o.d"
+  "bench_verification_table"
+  "bench_verification_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verification_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

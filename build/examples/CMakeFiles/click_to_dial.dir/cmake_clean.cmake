@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_to_dial.dir/click_to_dial.cpp.o"
+  "CMakeFiles/click_to_dial.dir/click_to_dial.cpp.o.d"
+  "click_to_dial"
+  "click_to_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_to_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

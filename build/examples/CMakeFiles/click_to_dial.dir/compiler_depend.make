@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for click_to_dial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for click_to_dial.
+# This may be replaced when dependencies are built.

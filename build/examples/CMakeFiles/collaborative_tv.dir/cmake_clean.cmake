@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_tv.dir/collaborative_tv.cpp.o"
+  "CMakeFiles/collaborative_tv.dir/collaborative_tv.cpp.o.d"
+  "collaborative_tv"
+  "collaborative_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

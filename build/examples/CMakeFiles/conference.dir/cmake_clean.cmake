@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference.dir/conference.cpp.o"
+  "CMakeFiles/conference.dir/conference.cpp.o.d"
+  "conference"
+  "conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_chaining.dir/feature_chaining.cpp.o"
+  "CMakeFiles/feature_chaining.dir/feature_chaining.cpp.o.d"
+  "feature_chaining"
+  "feature_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

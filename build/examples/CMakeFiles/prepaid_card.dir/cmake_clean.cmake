@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepaid_card.dir/prepaid_card.cpp.o"
+  "CMakeFiles/prepaid_card.dir/prepaid_card.cpp.o.d"
+  "prepaid_card"
+  "prepaid_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepaid_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

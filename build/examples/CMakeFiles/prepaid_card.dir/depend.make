@@ -1,0 +1,2 @@
+# Empty dependencies file for prepaid_card.
+# This may be replaced when dependencies are built.

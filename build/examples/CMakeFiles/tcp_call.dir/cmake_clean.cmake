@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_call.dir/tcp_call.cpp.o"
+  "CMakeFiles/tcp_call.dir/tcp_call.cpp.o.d"
+  "tcp_call"
+  "tcp_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

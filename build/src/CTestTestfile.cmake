@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("codec")
+subdirs("protocol")
+subdirs("channel")
+subdirs("net")
+subdirs("core")
+subdirs("sim")
+subdirs("media")
+subdirs("endpoints")
+subdirs("apps")
+subdirs("sip")
+subdirs("mc")

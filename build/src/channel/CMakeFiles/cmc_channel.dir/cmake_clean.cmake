@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_channel.dir/channel.cpp.o"
+  "CMakeFiles/cmc_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/cmc_channel.dir/meta.cpp.o"
+  "CMakeFiles/cmc_channel.dir/meta.cpp.o.d"
+  "libcmc_channel.a"
+  "libcmc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

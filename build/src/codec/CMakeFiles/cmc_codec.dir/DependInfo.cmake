@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cpp" "src/codec/CMakeFiles/cmc_codec.dir/codec.cpp.o" "gcc" "src/codec/CMakeFiles/cmc_codec.dir/codec.cpp.o.d"
+  "/root/repo/src/codec/descriptor.cpp" "src/codec/CMakeFiles/cmc_codec.dir/descriptor.cpp.o" "gcc" "src/codec/CMakeFiles/cmc_codec.dir/descriptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

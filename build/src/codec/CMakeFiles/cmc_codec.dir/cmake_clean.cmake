@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_codec.dir/codec.cpp.o"
+  "CMakeFiles/cmc_codec.dir/codec.cpp.o.d"
+  "CMakeFiles/cmc_codec.dir/descriptor.cpp.o"
+  "CMakeFiles/cmc_codec.dir/descriptor.cpp.o.d"
+  "libcmc_codec.a"
+  "libcmc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

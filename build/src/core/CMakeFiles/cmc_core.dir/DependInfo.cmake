@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/box.cpp" "src/core/CMakeFiles/cmc_core.dir/box.cpp.o" "gcc" "src/core/CMakeFiles/cmc_core.dir/box.cpp.o.d"
+  "/root/repo/src/core/flowlink.cpp" "src/core/CMakeFiles/cmc_core.dir/flowlink.cpp.o" "gcc" "src/core/CMakeFiles/cmc_core.dir/flowlink.cpp.o.d"
+  "/root/repo/src/core/goals.cpp" "src/core/CMakeFiles/cmc_core.dir/goals.cpp.o" "gcc" "src/core/CMakeFiles/cmc_core.dir/goals.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/cmc_core.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/cmc_core.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/cmc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cmc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cmc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_core.dir/box.cpp.o"
+  "CMakeFiles/cmc_core.dir/box.cpp.o.d"
+  "CMakeFiles/cmc_core.dir/flowlink.cpp.o"
+  "CMakeFiles/cmc_core.dir/flowlink.cpp.o.d"
+  "CMakeFiles/cmc_core.dir/goals.cpp.o"
+  "CMakeFiles/cmc_core.dir/goals.cpp.o.d"
+  "CMakeFiles/cmc_core.dir/path.cpp.o"
+  "CMakeFiles/cmc_core.dir/path.cpp.o.d"
+  "libcmc_core.a"
+  "libcmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_mc.dir/state_graph.cpp.o"
+  "CMakeFiles/cmc_mc.dir/state_graph.cpp.o.d"
+  "CMakeFiles/cmc_mc.dir/temporal.cpp.o"
+  "CMakeFiles/cmc_mc.dir/temporal.cpp.o.d"
+  "CMakeFiles/cmc_mc.dir/verification.cpp.o"
+  "CMakeFiles/cmc_mc.dir/verification.cpp.o.d"
+  "libcmc_mc.a"
+  "libcmc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

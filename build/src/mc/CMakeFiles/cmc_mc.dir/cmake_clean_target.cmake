@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmc_mc.a"
+)

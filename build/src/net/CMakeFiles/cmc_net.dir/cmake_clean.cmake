@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/cmc_net.dir/tcp_transport.cpp.o.d"
+  "libcmc_net.a"
+  "libcmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

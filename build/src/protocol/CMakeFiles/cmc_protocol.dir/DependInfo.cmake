@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/signal.cpp" "src/protocol/CMakeFiles/cmc_protocol.dir/signal.cpp.o" "gcc" "src/protocol/CMakeFiles/cmc_protocol.dir/signal.cpp.o.d"
+  "/root/repo/src/protocol/slot_endpoint.cpp" "src/protocol/CMakeFiles/cmc_protocol.dir/slot_endpoint.cpp.o" "gcc" "src/protocol/CMakeFiles/cmc_protocol.dir/slot_endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/cmc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_protocol.dir/signal.cpp.o"
+  "CMakeFiles/cmc_protocol.dir/signal.cpp.o.d"
+  "CMakeFiles/cmc_protocol.dir/slot_endpoint.cpp.o"
+  "CMakeFiles/cmc_protocol.dir/slot_endpoint.cpp.o.d"
+  "libcmc_protocol.a"
+  "libcmc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cmc_sim.dir/simulator.cpp.o.d"
+  "libcmc_sim.a"
+  "libcmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

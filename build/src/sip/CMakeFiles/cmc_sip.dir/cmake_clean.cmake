@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_sip.dir/agent.cpp.o"
+  "CMakeFiles/cmc_sip.dir/agent.cpp.o.d"
+  "CMakeFiles/cmc_sip.dir/b2bua.cpp.o"
+  "CMakeFiles/cmc_sip.dir/b2bua.cpp.o.d"
+  "libcmc_sip.a"
+  "libcmc_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_util.dir/log.cpp.o"
+  "CMakeFiles/cmc_util.dir/log.cpp.o.d"
+  "libcmc_util.a"
+  "libcmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

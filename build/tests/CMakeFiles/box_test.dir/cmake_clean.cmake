@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_test.dir/box_test.cpp.o"
+  "CMakeFiles/box_test.dir/box_test.cpp.o.d"
+  "box_test"
+  "box_test.pdb"
+  "box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

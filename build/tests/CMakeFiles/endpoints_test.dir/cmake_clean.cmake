@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoints_test.dir/endpoints_test.cpp.o"
+  "CMakeFiles/endpoints_test.dir/endpoints_test.cpp.o.d"
+  "endpoints_test"
+  "endpoints_test.pdb"
+  "endpoints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

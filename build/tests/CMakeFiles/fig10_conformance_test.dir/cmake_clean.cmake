@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_conformance_test.dir/fig10_conformance_test.cpp.o"
+  "CMakeFiles/fig10_conformance_test.dir/fig10_conformance_test.cpp.o.d"
+  "fig10_conformance_test"
+  "fig10_conformance_test.pdb"
+  "fig10_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowlink_test.dir/flowlink_test.cpp.o"
+  "CMakeFiles/flowlink_test.dir/flowlink_test.cpp.o.d"
+  "flowlink_test"
+  "flowlink_test.pdb"
+  "flowlink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowlink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goals_test.dir/goals_test.cpp.o"
+  "CMakeFiles/goals_test.dir/goals_test.cpp.o.d"
+  "goals_test"
+  "goals_test.pdb"
+  "goals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test.dir/mc_test.cpp.o"
+  "CMakeFiles/mc_test.dir/mc_test.cpp.o.d"
+  "mc_test"
+  "mc_test.pdb"
+  "mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

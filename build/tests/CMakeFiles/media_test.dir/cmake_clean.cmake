@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_test.dir/media_test.cpp.o"
+  "CMakeFiles/media_test.dir/media_test.cpp.o.d"
+  "media_test"
+  "media_test.pdb"
+  "media_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

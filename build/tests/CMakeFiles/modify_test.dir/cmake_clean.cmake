@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modify_test.dir/modify_test.cpp.o"
+  "CMakeFiles/modify_test.dir/modify_test.cpp.o.d"
+  "modify_test"
+  "modify_test.pdb"
+  "modify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitunnel_test.dir/multitunnel_test.cpp.o"
+  "CMakeFiles/multitunnel_test.dir/multitunnel_test.cpp.o.d"
+  "multitunnel_test"
+  "multitunnel_test.pdb"
+  "multitunnel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitunnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_property_test.dir/path_property_test.cpp.o"
+  "CMakeFiles/path_property_test.dir/path_property_test.cpp.o.d"
+  "path_property_test"
+  "path_property_test.pdb"
+  "path_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_test.dir/path_test.cpp.o"
+  "CMakeFiles/path_test.dir/path_test.cpp.o.d"
+  "path_test"
+  "path_test.pdb"
+  "path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_collabtv_test.dir/scenario_collabtv_test.cpp.o"
+  "CMakeFiles/scenario_collabtv_test.dir/scenario_collabtv_test.cpp.o.d"
+  "scenario_collabtv_test"
+  "scenario_collabtv_test.pdb"
+  "scenario_collabtv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_collabtv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

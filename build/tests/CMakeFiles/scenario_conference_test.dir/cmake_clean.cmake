@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_conference_test.dir/scenario_conference_test.cpp.o"
+  "CMakeFiles/scenario_conference_test.dir/scenario_conference_test.cpp.o.d"
+  "scenario_conference_test"
+  "scenario_conference_test.pdb"
+  "scenario_conference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_conference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_ctd_test.dir/scenario_ctd_test.cpp.o"
+  "CMakeFiles/scenario_ctd_test.dir/scenario_ctd_test.cpp.o.d"
+  "scenario_ctd_test"
+  "scenario_ctd_test.pdb"
+  "scenario_ctd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_ctd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_forwarding_test.dir/scenario_forwarding_test.cpp.o"
+  "CMakeFiles/scenario_forwarding_test.dir/scenario_forwarding_test.cpp.o.d"
+  "scenario_forwarding_test"
+  "scenario_forwarding_test.pdb"
+  "scenario_forwarding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

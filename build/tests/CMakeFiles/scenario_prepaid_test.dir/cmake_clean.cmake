@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_prepaid_test.dir/scenario_prepaid_test.cpp.o"
+  "CMakeFiles/scenario_prepaid_test.dir/scenario_prepaid_test.cpp.o.d"
+  "scenario_prepaid_test"
+  "scenario_prepaid_test.pdb"
+  "scenario_prepaid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_prepaid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

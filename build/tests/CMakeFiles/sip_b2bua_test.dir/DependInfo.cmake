@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sip_b2bua_test.cpp" "tests/CMakeFiles/sip_b2bua_test.dir/sip_b2bua_test.cpp.o" "gcc" "tests/CMakeFiles/sip_b2bua_test.dir/sip_b2bua_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sip/CMakeFiles/cmc_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cmc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_b2bua_test.dir/sip_b2bua_test.cpp.o"
+  "CMakeFiles/sip_b2bua_test.dir/sip_b2bua_test.cpp.o.d"
+  "sip_b2bua_test"
+  "sip_b2bua_test.pdb"
+  "sip_b2bua_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_b2bua_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_test.dir/sip_test.cpp.o"
+  "CMakeFiles/sip_test.dir/sip_test.cpp.o.d"
+  "sip_test"
+  "sip_test.pdb"
+  "sip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparency_test.dir/transparency_test.cpp.o"
+  "CMakeFiles/transparency_test.dir/transparency_test.cpp.o.d"
+  "transparency_test"
+  "transparency_test.pdb"
+  "transparency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

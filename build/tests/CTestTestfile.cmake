@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/goals_test[1]_include.cmake")
+include("/root/repo/build/tests/flowlink_test[1]_include.cmake")
+include("/root/repo/build/tests/path_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_prepaid_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_ctd_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_conference_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_collabtv_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/sip_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/box_test[1]_include.cmake")
+include("/root/repo/build/tests/path_property_test[1]_include.cmake")
+include("/root/repo/build/tests/endpoints_test[1]_include.cmake")
+include("/root/repo/build/tests/modify_test[1]_include.cmake")
+include("/root/repo/build/tests/multitunnel_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_forwarding_test[1]_include.cmake")
+include("/root/repo/build/tests/transparency_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/fig10_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/sip_b2bua_test[1]_include.cmake")
