@@ -7,6 +7,7 @@
 // the multiplicative blow-up per flowlink is the reproduced shape.
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "mc/verification.hpp"
@@ -58,5 +59,52 @@ int main() {
       "is the multiplicative explosion that makes >=2 flowlinks infeasible");
   bench::verdict(mean_state > 10.0,
                  "adding one flowlink inflates the state space by >10x");
-  return 0;
+
+  // --- parallel explorer scaling on the largest configuration -------------
+  // openSlot/openSlot with one flowlink is the biggest model of the suite;
+  // run it at 1/2/8 workers. Counts and verdicts must be identical at every
+  // thread count (the parallel explorer visits the same reachable graph);
+  // wall-clock speedup tracks the machine's real core count.
+  std::printf("\n  parallel explorer scaling, openSlot/openSlot + 1 flowlink "
+              "(hardware threads: %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("  %-8s %12s %12s %10s %9s %8s\n", "threads", "states",
+              "transitions", "states/s", "time(s)", "speedup");
+  double baseline_seconds = 0;
+  std::size_t baseline_states = 0, baseline_transitions = 0;
+  bool counts_ok = true;
+  double best_speedup = 1.0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ExploreLimits plimits = limits;
+    plimits.modify_budget = 1;  // E1's full budget: the real largest model
+    plimits.threads = threads;
+    const auto graph = explorePath(GoalKind::openSlot, GoalKind::openSlot, 1,
+                                   plimits);
+    if (threads == 1) {
+      baseline_seconds = graph.seconds;
+      baseline_states = graph.states();
+      baseline_transitions = graph.transitions;
+    } else {
+      counts_ok = counts_ok && graph.states() == baseline_states &&
+                  graph.transitions == baseline_transitions;
+    }
+    const double speedup =
+        graph.seconds > 0 ? baseline_seconds / graph.seconds : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("  %-8zu %12zu %12zu %10.0f %9.2f %7.2fx\n", threads,
+                graph.states(), graph.transitions,
+                graph.stats.statesPerSecond(), graph.seconds, speedup);
+    std::printf("  EXPLORE_STATS %s\n",
+                graph.stats.json("statespace_growth", "openSlot/openSlot/1")
+                    .c_str());
+  }
+  bench::verdict(counts_ok,
+                 "identical state/transition counts at every thread count");
+  if (std::thread::hardware_concurrency() >= 4) {
+    bench::verdict(best_speedup >= 2.0,
+                   ">=2x speedup at 8 workers over the sequential explorer");
+  } else {
+    bench::note("speedup verdict skipped: fewer than 4 hardware threads");
+  }
+  return counts_ok ? 0 : 1;
 }

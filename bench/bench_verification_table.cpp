@@ -10,7 +10,9 @@
 // modeling granularity, descriptor domains, machine); what must reproduce
 // is: every model passes both checks, and one flowlink inflates the state
 // space by orders of magnitude (see bench_statespace_growth).
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "mc/verification.hpp"
@@ -26,6 +28,9 @@ int main() {
   limits.chaos_budget = 1;   // chaotic prefix actions per goal object
   limits.modify_budget = 1;  // user mute perturbations after attach
   limits.max_states = 4'000'000;
+  // Verdicts and counts are thread-count invariant, so use every core.
+  limits.threads = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("  explorer threads: %zu\n", limits.threads);
 
   std::printf(
       "  %-10s %-10s %-6s %-34s %10s %12s %9s %8s %7s %6s\n", "left", "right",
@@ -45,6 +50,13 @@ int main() {
     if (!o.failure.empty()) {
       std::printf("      counterexample: %s\n", o.failure.c_str());
     }
+    char config_label[64];
+    std::snprintf(config_label, sizeof(config_label), "%s/%s/%zu",
+                  std::string(toString(config.left)).c_str(),
+                  std::string(toString(config.right)).c_str(),
+                  config.flowlinks);
+    std::printf("  EXPLORE_STATS %s\n",
+                o.stats.json("verification_table", config_label).c_str());
   }
   bench::verdict(all_ok,
                  "all 12 models pass safety + specification (paper: same)");

@@ -1,7 +1,11 @@
 #include "mc/state_graph.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <deque>
+#include <thread>
+
+#include "mc/seen_set.hpp"
 
 namespace cmc {
 
@@ -30,6 +34,7 @@ StateBits bitsOf(const PathSystem& system, bool terminal) {
   }
   bits.slotsStable = stable;
   bits.terminal = terminal;
+  bits.expanded = true;
   bits.left_state =
       static_cast<std::uint8_t>(system.endpointSlot(PathEnd::left).state());
   bits.right_state =
@@ -39,11 +44,83 @@ StateBits bitsOf(const PathSystem& system, bool terminal) {
   return bits;
 }
 
+// Per-state output of one expansion: bits plus successor indices in action
+// order. Produced by workers, committed to the result single-threaded.
+struct Expansion {
+  std::uint32_t index = 0;
+  StateBits bits{};
+  bool terminal = false;
+  std::vector<std::uint32_t> targets;
+};
+
+// A freshly discovered state: its system is parked here until the merge
+// phase places it at its claimed index.
+struct Discovery {
+  std::uint32_t index;
+  PathSystem system;
+  std::uint32_t parent;
+  std::string action;
+};
+
+struct WorkerBatch {
+  std::vector<Expansion> expansions;
+  std::vector<Discovery> discoveries;
+};
+
+// Expand frontier states until the shared cursor runs off the end (or the
+// state budget dies). Claiming distinct frontier slots via the cursor means
+// each state has exactly one expander, so writing states[index] (reset
+// after expansion, to free the PathSystem early) is race-free; the states
+// vector itself is never resized while workers run.
+void expandFrontier(const std::vector<std::uint32_t>& frontier,
+                    std::atomic<std::size_t>& cursor,
+                    std::vector<std::optional<PathSystem>>& states,
+                    SeenSet& seen, std::uint64_t fingerprint_mask,
+                    std::atomic<bool>& out_of_budget, WorkerBatch& out) {
+  for (;;) {
+    const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= frontier.size()) return;
+    if (out_of_budget.load(std::memory_order_relaxed)) return;
+    const std::uint32_t index = frontier[slot];
+    const PathSystem& system = *states[index];
+    const std::vector<PathAction> actions = system.enabledActions();
+    Expansion expansion;
+    expansion.index = index;
+    expansion.bits = bitsOf(system, actions.empty());
+    expansion.terminal = actions.empty();
+    if (expansion.terminal) {
+      expansion.targets.push_back(index);  // stutter
+    } else {
+      for (const PathAction& action : actions) {
+        PathSystem successor = system;
+        successor.apply(action);
+        ByteWriter w;
+        successor.canonicalize(w);
+        std::vector<std::uint8_t> bytes = w.take();
+        const std::uint64_t fp = fnv1a(bytes) & fingerprint_mask;
+        const SeenSet::Outcome got = seen.insert(fp, std::move(bytes));
+        if (got.index == SeenSet::kNoIndex) {
+          out_of_budget.store(true, std::memory_order_relaxed);
+          break;  // keep the edges recorded so far for this state
+        }
+        if (got.inserted) {
+          out.discoveries.push_back(
+              Discovery{got.index, std::move(successor), index, action.toString()});
+        }
+        expansion.targets.push_back(got.index);
+      }
+    }
+    states[index].reset();
+    out.expansions.push_back(std::move(expansion));
+  }
+}
+
 }  // namespace
 
 std::set<std::uint32_t> quiescentObservables(const ExploreResult& graph) {
   std::set<std::uint32_t> out;
   for (const StateBits& bits : graph.bits) {
+    if (!bits.expanded) continue;  // truncated leftovers carry no valid bits
     if (bits.quiescent && bits.allAttached) out.insert(bits.observable());
   }
   return out;
@@ -74,25 +151,29 @@ ExploreResult explorePath(GoalKind left, GoalKind right, std::size_t flowlinks,
 }
 
 ExploreResult explore(const PathSystem& initial, const ExploreLimits& limits) {
-  const auto start_time = std::chrono::steady_clock::now();
-  ExploreResult result;
-
-  // State storage: a state's PathSystem is only needed until it has been
-  // expanded, after which the slot is freed (the bits and edges remain).
-  std::vector<std::optional<PathSystem>> states;
-  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
-  index_of.reserve(1 << 16);
-
-  auto canonicalBytes = [](const PathSystem& s) {
-    ByteWriter w;
-    s.canonicalize(w);
-    return w.take();
+  using Clock = std::chrono::steady_clock;
+  const auto start_time = Clock::now();
+  auto elapsed = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
   };
 
+  ExploreResult result;
+  const std::size_t thread_count = std::max<std::size_t>(1, limits.threads);
+  // At least 1 so the initial state always gets its index.
+  const std::uint32_t max_states = static_cast<std::uint32_t>(
+      std::clamp<std::size_t>(limits.max_states, 1, SeenSet::kNoIndex - 1));
+
+  SeenSet seen(max_states);
+  // A state's PathSystem is only needed until expansion; the slot is freed
+  // afterwards (bits, edges, and the canonical bytes in `seen` remain).
+  std::vector<std::optional<PathSystem>> states;
+
   {
-    auto bytes = canonicalBytes(initial);
-    index_of.emplace(fnv1a(bytes), 0);
-    result.bytes_canonical += bytes.size();
+    ByteWriter w;
+    initial.canonicalize(w);
+    std::vector<std::uint8_t> bytes = w.take();
+    const std::uint64_t fp = fnv1a(bytes) & limits.fingerprint_mask;
+    seen.insert(fp, std::move(bytes));
   }
   states.emplace_back(initial);
   result.bits.push_back(StateBits{});
@@ -100,53 +181,79 @@ ExploreResult explore(const PathSystem& initial, const ExploreLimits& limits) {
   result.parent.push_back(0);
   result.parent_action.emplace_back("<init>");
 
-  std::deque<std::uint32_t> frontier;
-  frontier.push_back(0);
+  std::atomic<bool> out_of_budget{false};
+  std::vector<std::uint32_t> frontier{0};
 
-  while (!frontier.empty()) {
-    const std::uint32_t index = frontier.front();
-    frontier.pop_front();
-    // Copy out the actions; applying mutates a copy of the state.
-    const std::vector<PathAction> actions = states[index]->enabledActions();
-    result.bits[index] = bitsOf(*states[index], actions.empty());
-    if (actions.empty()) {
-      ++result.terminals;
-      result.edges[index].push_back(index);  // stutter
-      ++result.transitions;
-      states[index].reset();
-      continue;
-    }
-    for (const PathAction& action : actions) {
-      if (states.size() >= limits.max_states) {
-        result.truncated = true;
-        break;
+  while (!frontier.empty() && !out_of_budget.load(std::memory_order_relaxed)) {
+    ++result.stats.frontier_depth;
+    result.stats.peak_frontier =
+        std::max(result.stats.peak_frontier, frontier.size());
+
+    const auto expand_start = Clock::now();
+    std::atomic<std::size_t> cursor{0};
+    std::vector<WorkerBatch> batches(thread_count);
+    if (thread_count == 1) {
+      // Deterministic fallback: frontier slots in order, indices assigned in
+      // FIFO discovery order — identical to the historical explorer.
+      expandFrontier(frontier, cursor, states, seen, limits.fingerprint_mask,
+                     out_of_budget, batches[0]);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(thread_count);
+      for (std::size_t t = 0; t < thread_count; ++t) {
+        workers.emplace_back([&, t] {
+          expandFrontier(frontier, cursor, states, seen,
+                         limits.fingerprint_mask, out_of_budget, batches[t]);
+        });
       }
-      PathSystem successor = *states[index];
-      successor.apply(action);
-      auto bytes = canonicalBytes(successor);
-      const std::uint64_t fp = fnv1a(bytes);
-      auto [it, inserted] =
-          index_of.emplace(fp, static_cast<std::uint32_t>(states.size()));
-      if (inserted) {
-        result.bytes_canonical += bytes.size();
-        states.emplace_back(std::move(successor));
-        result.bits.push_back(StateBits{});
-        result.edges.emplace_back();
-        result.parent.push_back(index);
-        result.parent_action.push_back(action.toString());
-        frontier.push_back(it->second);
-      }
-      result.edges[index].push_back(it->second);
-      ++result.transitions;
+      for (std::thread& worker : workers) worker.join();
     }
-    states[index].reset();
-    if (result.truncated) break;
+    result.stats.expand_seconds += elapsed(expand_start);
+
+    const auto merge_start = Clock::now();
+    const std::uint32_t total = seen.size();
+    states.resize(total);
+    result.bits.resize(total);  // value-init: expanded=false until committed
+    result.edges.resize(total);
+    result.parent.resize(total, 0);
+    result.parent_action.resize(total);
+    std::vector<std::uint32_t> next_frontier;
+    for (WorkerBatch& batch : batches) {
+      for (Discovery& d : batch.discoveries) {
+        states[d.index].emplace(std::move(d.system));
+        result.parent[d.index] = d.parent;
+        result.parent_action[d.index] = std::move(d.action);
+        next_frontier.push_back(d.index);
+      }
+      for (Expansion& e : batch.expansions) {
+        result.bits[e.index] = e.bits;
+        result.transitions += e.targets.size();
+        if (e.terminal) ++result.terminals;
+        result.edges[e.index] = std::move(e.targets);
+      }
+    }
+    // Low-index-first keeps expansion near-FIFO under multiple workers (and
+    // is a no-op for one worker, whose discoveries arrive already sorted).
+    if (thread_count > 1) {
+      std::sort(next_frontier.begin(), next_frontier.end());
+    }
+    frontier = std::move(next_frontier);
+    result.stats.merge_seconds += elapsed(merge_start);
   }
 
-  // States left unexpanded due to truncation keep empty bits; mark them.
-  result.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start_time)
-                       .count();
+  result.truncated = out_of_budget.load(std::memory_order_relaxed);
+  result.bytes_canonical = seen.bytesRetained();
+  result.seconds = elapsed(start_time);
+
+  result.stats.threads = thread_count;
+  result.stats.states = result.bits.size();
+  result.stats.transitions = result.transitions;
+  result.stats.terminals = result.terminals;
+  result.stats.dedup_hits = seen.hits();
+  result.stats.collisions = seen.collisions();
+  result.stats.bytes_retained = seen.bytesRetained();
+  result.stats.truncated = result.truncated;
+  result.stats.seconds = result.seconds;
   return result;
 }
 

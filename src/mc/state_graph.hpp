@@ -13,6 +13,12 @@
 // initial phases per goal object (PathSystem chaos budgets), a safety check
 // (every quiescent fully-attached state has its slots closed or flowing),
 // and the Section V path properties.
+//
+// Dedup is collision-safe: states are keyed by fingerprint but verified by
+// full canonical bytes (see seen_set.hpp), so a 64-bit hash collision can
+// never merge two distinct states. Expansion is a level-synchronized
+// parallel BFS (ExploreLimits::threads workers per level); threads == 1 is
+// the deterministic sequential fallback.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "core/path.hpp"
+#include "mc/explore_stats.hpp"
 
 namespace cmc {
 
@@ -33,6 +40,11 @@ struct StateBits {
   bool allAttached : 1;
   bool slotsStable : 1;  // every slot closed or flowing
   bool terminal : 1;     // no enabled actions
+  // Set when the explorer actually expanded the state and filled the bits
+  // above. States discovered but never expanded (a run truncated by
+  // max_states) keep expanded=false, and no predicate may be read from
+  // them: quiescentObservables and the verifiers skip them.
+  bool expanded : 1;
   // Endpoint-observable projection (for the transparency check): protocol
   // states of the two path endpoints and their media-enabled flags.
   std::uint8_t left_state : 3;
@@ -59,6 +71,17 @@ struct ExploreLimits {
   std::uint32_t chaos_budget = 2;
   std::uint32_t modify_budget = 1;
   bool defer_attach = true;  // chaotic initial phase before goals engage
+  // Worker threads for frontier expansion. threads == 1 runs the
+  // deterministic sequential path: state indices, parents, and traces are
+  // reproducible run-to-run and match the historical single-threaded
+  // explorer. threads > 1 keeps state/transition/terminal counts and all
+  // verification verdicts identical (the reachable graph is explored
+  // exhaustively either way) but assigns indices in nondeterministic order.
+  std::size_t threads = 1;
+  // Testing hook: fingerprints are masked with this value before dedup, so
+  // a coarse mask (e.g. 0xFF) forces hash collisions and exercises the
+  // byte-verification path. Production runs leave it all-ones.
+  std::uint64_t fingerprint_mask = ~std::uint64_t{0};
 };
 
 struct ExploreResult {
@@ -72,8 +95,9 @@ struct ExploreResult {
   std::size_t transitions = 0;
   std::size_t terminals = 0;
   bool truncated = false;        // hit max_states
-  std::size_t bytes_canonical = 0;  // total canonical-state bytes (memory proxy)
+  std::size_t bytes_canonical = 0;  // canonical-state bytes retained by the seen-set
   double seconds = 0;
+  ExploreStats stats;            // observability counters for this run
 
   [[nodiscard]] std::size_t states() const noexcept { return bits.size(); }
 

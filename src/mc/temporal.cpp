@@ -135,6 +135,10 @@ std::optional<TemporalViolation> checkStableOrRecurrent(const ExploreResult& gra
 std::optional<TemporalViolation> checkSafety(const ExploreResult& graph) {
   for (std::uint32_t s = 0; s < graph.states(); ++s) {
     const StateBits& bits = graph.bits[s];
+    // States a truncated run never expanded carry no valid predicate bits.
+    // (The cycle checks above need no such guard: an unexpanded state has
+    // no outgoing edges, so it can never sit on a cycle.)
+    if (!bits.expanded) continue;
     if (bits.quiescent && bits.allAttached && !bits.slotsStable) {
       return TemporalViolation{
           s, "quiescent fully-attached state with a slot neither closed nor "

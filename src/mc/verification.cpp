@@ -78,6 +78,7 @@ VerificationOutcome verifyPath(const VerificationCase& config,
   outcome.terminals = graph.terminals;
   outcome.bytes = graph.bytes_canonical;
   outcome.seconds = graph.seconds;
+  outcome.stats = graph.stats;
   outcome.truncated = graph.truncated;
 
   if (auto violation = checkSafety(graph)) {

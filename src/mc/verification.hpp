@@ -52,8 +52,9 @@ struct VerificationOutcome {
   std::size_t states = 0;
   std::size_t transitions = 0;
   std::size_t terminals = 0;
-  std::size_t bytes = 0;     // canonical-state bytes explored (memory proxy)
+  std::size_t bytes = 0;     // canonical-state bytes retained (memory proxy)
   double seconds = 0;
+  ExploreStats stats;        // explorer observability counters
   std::string failure;       // first counterexample summary, if any
 
   [[nodiscard]] bool ok() const noexcept {

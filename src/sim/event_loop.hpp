@@ -44,9 +44,11 @@ class EventLoop {
   }
 
   // Run until idle or the horizon passes. Returns true if the loop drained
-  // (idle); false if it stopped at the horizon with work left.
+  // (idle); false if it stopped at the horizon with work left. The horizon
+  // is relative to now(): each call grants `horizon` more virtual time, so
+  // repeated calls keep making progress after the first horizon expires.
   bool runUntilIdle(SimDuration horizon = std::chrono::seconds(600)) {
-    const SimTime limit = SimTime{} + horizon;
+    const SimTime limit = now_ + horizon;
     while (!queue_.empty()) {
       if (queue_.top().when > limit) return false;
       step();

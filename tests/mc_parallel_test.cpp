@@ -1,0 +1,124 @@
+// Parallel explorer tests: thread-count equivalence over the paper's 12
+// models (identical state/transition/terminal counts and verification
+// verdicts at 1, 2, and 8 workers), determinism of the sequential fallback,
+// and coherence of ExploreStats under concurrency. These are the tests the
+// ThreadSanitizer preset (cmake --preset tsan) is meant to exercise.
+#include <gtest/gtest.h>
+
+#include "mc/verification.hpp"
+
+namespace cmc {
+namespace {
+
+using K = GoalKind;
+
+ExploreLimits base() {
+  ExploreLimits limits;
+  limits.chaos_budget = 1;
+  limits.modify_budget = 0;
+  limits.max_states = 2'000'000;
+  return limits;
+}
+
+// ------------------------------------ equivalence across thread counts
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, CountsAndVerdictsMatchAcrossThreadCounts) {
+  const auto suite = paperVerificationSuite();
+  const auto config = suite[static_cast<std::size_t>(GetParam())];
+  const PathSpec spec = specFor(config.left, config.right);
+
+  ExploreLimits limits = base();
+  limits.threads = 1;
+  const auto baseline =
+      explorePath(config.left, config.right, config.flowlinks, limits);
+  ASSERT_FALSE(baseline.truncated);
+  const bool base_safety = !checkSafety(baseline).has_value();
+  const bool base_spec = !checkSpec(baseline, spec).has_value();
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    limits.threads = threads;
+    const auto graph =
+        explorePath(config.left, config.right, config.flowlinks, limits);
+    EXPECT_FALSE(graph.truncated) << threads << " threads";
+    EXPECT_EQ(graph.states(), baseline.states()) << threads << " threads";
+    EXPECT_EQ(graph.transitions, baseline.transitions) << threads << " threads";
+    EXPECT_EQ(graph.terminals, baseline.terminals) << threads << " threads";
+    EXPECT_EQ(!checkSafety(graph).has_value(), base_safety)
+        << threads << " threads";
+    EXPECT_EQ(!checkSpec(graph, spec).has_value(), base_spec)
+        << threads << " threads";
+    EXPECT_EQ(quiescentObservables(graph), quiescentObservables(baseline))
+        << threads << " threads";
+    EXPECT_EQ(graph.stats.threads, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModels, ParallelEquivalence,
+                         ::testing::Range(0, 12));
+
+// ------------------------------------------------- sequential determinism
+
+TEST(ParallelExplore, SingleThreadIsFullyDeterministic) {
+  // threads == 1 must preserve the historical explorer's reproducibility:
+  // not just counts, but state order, parents, and action labels — the
+  // basis of stable counterexample traces.
+  ExploreLimits limits = base();
+  limits.threads = 1;
+  const auto a = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  const auto b = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  ASSERT_EQ(a.states(), b.states());
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.parent_action, b.parent_action);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+// ----------------------------------------------- stats under concurrency
+
+TEST(ParallelExplore, StatsStayCoherentUnderThreads) {
+  ExploreLimits limits = base();
+  limits.threads = 4;
+  const auto graph = explorePath(K::openSlot, K::openSlot, 0, limits);
+  const ExploreStats& stats = graph.stats;
+  EXPECT_EQ(stats.threads, 4u);
+  EXPECT_EQ(stats.states, graph.states());
+  EXPECT_EQ(stats.transitions, graph.transitions);
+  EXPECT_GT(stats.bytes_retained, 0u);
+  EXPECT_GT(stats.frontier_depth, 0u);
+  EXPECT_GE(stats.peak_frontier, 1u);
+  EXPECT_GE(stats.dedupRatio(), 0.0);
+  EXPECT_LE(stats.dedupRatio(), 1.0);
+  // The non-stutter edge accounting must close exactly even with parallel
+  // insertion: every edge found a new state or hit the dedup set.
+  EXPECT_EQ(stats.dedup_hits + stats.states + stats.terminals,
+            stats.transitions + 1);
+}
+
+TEST(ParallelExplore, CollisionSafetyHoldsUnderThreads) {
+  // Coarse fingerprints force constant collisions while 8 workers insert
+  // concurrently; byte verification must still keep every state distinct.
+  ExploreLimits limits = base();
+  const auto full = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  limits.threads = 8;
+  limits.fingerprint_mask = 0xFF;
+  const auto masked = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  EXPECT_GT(masked.stats.collisions, 0u);
+  EXPECT_EQ(masked.states(), full.states());
+  EXPECT_EQ(masked.transitions, full.transitions);
+  EXPECT_EQ(masked.terminals, full.terminals);
+}
+
+TEST(ParallelExplore, TruncationIsExactUnderThreads) {
+  // The budget is enforced by a single atomic allocator, so even 8 racing
+  // workers can never overshoot max_states.
+  ExploreLimits limits = base();
+  limits.threads = 8;
+  limits.max_states = 500;
+  const auto graph = explorePath(K::openSlot, K::openSlot, 1, limits);
+  EXPECT_TRUE(graph.truncated);
+  EXPECT_EQ(graph.states(), 500u);
+}
+
+}  // namespace
+}  // namespace cmc

@@ -4,6 +4,7 @@
 // checks proving the checker can find violations.
 #include <gtest/gtest.h>
 
+#include "mc/seen_set.hpp"
 #include "mc/verification.hpp"
 
 namespace cmc {
@@ -58,6 +59,125 @@ TEST(Explore, TruncationIsReported) {
   auto graph = explorePath(K::openSlot, K::openSlot, 1, limits);
   EXPECT_TRUE(graph.truncated);
   EXPECT_EQ(graph.states(), 100u);
+}
+
+TEST(Explore, TruncatedStatesAreMarkedUnexpanded) {
+  ExploreLimits limits = quick();
+  limits.max_states = 100;
+  auto graph = explorePath(K::openSlot, K::openSlot, 1, limits);
+  ASSERT_TRUE(graph.truncated);
+  std::size_t unexpanded = 0;
+  for (std::uint32_t s = 0; s < graph.states(); ++s) {
+    if (graph.bits[s].expanded) continue;
+    ++unexpanded;
+    // Unexpanded states must contribute nothing the verifiers could read:
+    // no outgoing edges, and no predicate bits.
+    EXPECT_TRUE(graph.edges[s].empty());
+    EXPECT_FALSE(graph.bits[s].terminal);
+  }
+  EXPECT_GT(unexpanded, 0u);
+  // The safety check and the observables projection skip unexpanded states
+  // instead of reading default-constructed bits: a default StateBits is
+  // quiescent=false so it would also be skipped by accident, but the
+  // expanded flag makes that robust rather than lucky.
+  EXPECT_FALSE(checkSafety(graph).has_value());
+  EXPECT_NO_FATAL_FAILURE({ auto observables = quiescentObservables(graph); (void)observables; });
+}
+
+TEST(Explore, FullRunMarksEveryStateExpanded) {
+  auto graph = explorePath(K::openSlot, K::holdSlot, 0, quick());
+  ASSERT_FALSE(graph.truncated);
+  for (std::uint32_t s = 0; s < graph.states(); ++s) {
+    EXPECT_TRUE(graph.bits[s].expanded) << "state " << s;
+  }
+}
+
+// ------------------------------------------------------- collision safety
+
+TEST(CollisionSafety, SeenSetKeepsCollidingStatesDistinct) {
+  SeenSet seen(/*max_states=*/10);
+  // Two different canonical encodings forced onto the same fingerprint.
+  std::vector<std::uint8_t> a{1, 2, 3};
+  std::vector<std::uint8_t> b{4, 5, 6, 7};
+  auto first = seen.insert(42, std::vector<std::uint8_t>(a));
+  EXPECT_TRUE(first.inserted);
+  EXPECT_FALSE(first.collided);
+  auto second = seen.insert(42, std::vector<std::uint8_t>(b));
+  EXPECT_TRUE(second.inserted);
+  EXPECT_TRUE(second.collided);
+  EXPECT_NE(first.index, second.index);
+  EXPECT_EQ(seen.collisions(), 1u);
+  // Re-inserting either encoding is a dedup hit on its own index.
+  auto again = seen.insert(42, std::vector<std::uint8_t>(a));
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(again.index, first.index);
+  EXPECT_EQ(seen.hits(), 1u);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.bytesRetained(), a.size() + b.size());
+}
+
+TEST(CollisionSafety, SeenSetEnforcesStateBudget) {
+  SeenSet seen(/*max_states=*/2);
+  EXPECT_TRUE(seen.insert(1, {1}).inserted);
+  EXPECT_TRUE(seen.insert(2, {2}).inserted);
+  auto over = seen.insert(3, {3});
+  EXPECT_FALSE(over.inserted);
+  EXPECT_EQ(over.index, SeenSet::kNoIndex);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(CollisionSafety, MaskedFingerprintsDoNotMergeStates) {
+  // Regression for the historical bug: dedup on the bare 64-bit fingerprint
+  // merged any two states that collided. Coarsening the fingerprint to 8
+  // bits forces constant collisions; byte verification must keep every
+  // state distinct, so all counts match the full-fingerprint run exactly.
+  ExploreLimits limits = quick();
+  const auto full = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  EXPECT_EQ(full.stats.collisions, 0u);
+  limits.fingerprint_mask = 0xFF;
+  const auto masked = explorePath(K::openSlot, K::holdSlot, 0, limits);
+  EXPECT_GT(masked.stats.collisions, 0u);
+  EXPECT_EQ(masked.states(), full.states());
+  EXPECT_EQ(masked.transitions, full.transitions);
+  EXPECT_EQ(masked.terminals, full.terminals);
+  EXPECT_EQ(quiescentObservables(masked), quiescentObservables(full));
+}
+
+TEST(CollisionSafety, MaskedVerdictsMatchUnmasked) {
+  ExploreLimits limits = quick();
+  limits.fingerprint_mask = 0xFF;
+  for (const auto& config : paperVerificationSuite()) {
+    if (config.flowlinks > 0) continue;  // keep this test fast
+    auto outcome = verifyPath(config, limits);
+    EXPECT_TRUE(outcome.ok()) << outcome.failure;
+    EXPECT_GT(outcome.stats.collisions, 0u);
+  }
+}
+
+// ------------------------------------------------------- explorer metrics
+
+TEST(ExploreStatsTest, CountersAreCoherent) {
+  auto graph = explorePath(K::openSlot, K::holdSlot, 0, quick());
+  const ExploreStats& stats = graph.stats;
+  EXPECT_EQ(stats.threads, 1u);
+  EXPECT_EQ(stats.states, graph.states());
+  EXPECT_EQ(stats.transitions, graph.transitions);
+  EXPECT_EQ(stats.terminals, graph.terminals);
+  EXPECT_EQ(stats.bytes_retained, graph.bytes_canonical);
+  EXPECT_GT(stats.frontier_depth, 0u);
+  EXPECT_GT(stats.peak_frontier, 0u);
+  EXPECT_GE(stats.dedupRatio(), 0.0);
+  EXPECT_LE(stats.dedupRatio(), 1.0);
+  // Every recorded non-stutter edge either discovered a state or hit the
+  // dedup set; stutters account for the terminals.
+  EXPECT_EQ(stats.dedup_hits + stats.states + stats.terminals,
+            stats.transitions + 1)  // +1: the initial state is not an edge
+      << "edge accounting broke";
+  EXPECT_FALSE(stats.truncated);
+  const std::string json = stats.json("test", "openSlot/holdSlot/0");
+  EXPECT_NE(json.find("\"states\":"), std::string::npos);
+  EXPECT_NE(json.find("\"collisions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"truncated\":false"), std::string::npos);
 }
 
 TEST(Explore, TraceReconstructsFromInit) {

@@ -50,6 +50,27 @@ TEST(EventLoopTest, HorizonStopsLoop) {
   EXPECT_FALSE(loop.runUntilIdle(100_ms));
 }
 
+TEST(EventLoopTest, HorizonIsRelativeToNow) {
+  // Regression: the horizon used to be computed from the epoch, so once
+  // virtual time passed it, every later call returned false immediately
+  // without running a single event. Each call must grant `horizon` more
+  // virtual time from the current now().
+  EventLoop loop;
+  int fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    loop.schedule(10_ms, rearm);
+  };
+  loop.schedule(10_ms, rearm);
+  EXPECT_FALSE(loop.runUntilIdle(100_ms));
+  const int fired_first = fired;
+  const double now_first = loop.now().millis();
+  EXPECT_EQ(now_first, 100.0);
+  EXPECT_FALSE(loop.runUntilIdle(100_ms));
+  EXPECT_GT(fired, fired_first) << "second call ran no events";
+  EXPECT_EQ(loop.now().millis(), now_first + 100.0);
+}
+
 TEST(EventLoopTest, RunUntilLeavesLaterEvents) {
   EventLoop loop;
   int fired = 0;
