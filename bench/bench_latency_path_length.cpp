@@ -11,10 +11,16 @@
 // devices have opened their tunnels, so both half-paths are up (muted) and
 // waiting. Initializing the last flowlink (the box adjacent to A) then
 // completes the path; its farther endpoint is B at p = k hops.
+//
+// Measurement runs through obs::ConvergenceProbes: the probe is armed at
+// the instant the flowlink initializes and the simulator re-evaluates it
+// after every completed box stimulus, so the recorded latency is the exact
+// virtual time of quiescence — no polling granularity.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "endpoints/user_device.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -24,10 +30,11 @@ using namespace cmc::literals;
 
 // Measured latency (ms) from linking the box adjacent to A until B is ready
 // to transmit toward A, for a chain of `k` boxes.
-double measure(std::size_t k, TimingModel timing) {
+double measure(std::size_t k, TimingModel timing, obs::MetricsRegistry* reg) {
   Simulator sim(timing, 3);
-  auto& a = sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
-                                      MediaAddress::parse("10.9.0.1", 5000));
+  if (reg != nullptr) sim.attachMetrics(reg);
+  sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.0.1", 5000));
   auto& b = sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
                                       MediaAddress::parse("10.9.0.2", 5000));
   std::vector<Box*> patches;
@@ -63,21 +70,26 @@ double measure(std::size_t k, TimingModel timing) {
   sim.inject("B", [](Box& bx) { static_cast<UserDeviceBox&>(bx).callOnLine(); });
   sim.runFor(20_s);
 
-  // The last flowlink initializes: P1 links its two (flowing) slots.
-  const SimTime start = sim.now();
+  // The last flowlink initializes: P1 links its two (flowing) slots. Arm the
+  // quiescence probe at the same instant: B sends real (non-muted) media
+  // toward A.
+  const MediaAddress a_addr =
+      static_cast<UserDeviceBox&>(sim.box("A")).media().address();
+  const std::string probe = "path_p" + std::to_string(k);
+  sim.probes().arm(probe, probe, sim.nowUs(), [&b, a_addr]() {
+    const auto& st = b.media().sendingState();
+    return st && st->target == a_addr && !isNoMedia(st->codec);
+  });
   sim.inject("P1", [&channels](Box& bx) {
     bx.linkSlots(bx.slotsOf(channels[0]).front(),
                  bx.slotsOf(channels[1]).front());
   });
-  const MediaAddress a_addr = a.media().address();
-  for (int ms = 0; ms < 30000; ++ms) {
-    sim.runFor(1_ms);
-    const auto& st = b.media().sendingState();
-    if (st && st->target == a_addr && !isNoMedia(st->codec)) {
-      return (sim.now() - start).count() / 1000.0;
-    }
-  }
-  return -1;
+  sim.runFor(30_s);
+
+  const auto latency = sim.probes().latencyUs(probe);
+  if (!latency) return -1;
+  bench::jsonLine("CONVERGENCE", sim.probes().json());
+  return static_cast<double>(*latency) / 1000.0;
 }
 
 }  // namespace
@@ -89,19 +101,21 @@ int main() {
       "after the last flowlink initializes, media setup toward the farther "
       "endpoint takes p*n + (p+1)*c (n=34 ms, c=20 ms)");
 
+  obs::MetricsRegistry registry;
   const double n = 34, c = 20;
   std::printf("  %-8s %-26s %-14s\n", "hops p", "paper p*n+(p+1)*c (ms)",
               "measured (ms)");
   bool ok = true;
   for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
     const double paper = static_cast<double>(k) * n + (k + 1) * c;
-    const double measured = measure(k, TimingModel::paperDefaults());
+    const double measured = measure(k, TimingModel::paperDefaults(), &registry);
     std::printf("  %-8zu %-26.1f %-14.1f\n", k, paper, measured);
     ok = ok && measured > 0 && measured > 0.7 * paper && measured < 1.6 * paper;
   }
   bench::note(
       "hop count p counts signaling hops from the last flowlink (adjacent "
       "to A) to the farther endpoint B");
+  bench::jsonLine("OBS_METRICS", registry.json());
   bench::verdict(ok, "latency grows linearly as p*n + (p+1)*c");
   return ok ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "bench_util.hpp"
 #include "endpoints/resources.hpp"
 #include "endpoints/user_device.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 int main() {
@@ -28,6 +29,8 @@ int main() {
       "occur at any snapshot");
 
   Simulator sim(TimingModel::paperDefaults(), 7);
+  obs::MetricsRegistry registry;
+  sim.attachMetrics(&registry);
   auto& a = sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
                                       MediaAddress::parse("10.0.0.1", 5000));
   auto& b = sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
@@ -108,6 +111,7 @@ int main() {
   check(!v.media().hears(c.media().id()), "V released");
 
   std::printf("\n");
+  bench::jsonLine("OBS_METRICS", registry.json());
   bench::verdict(all_ok, "all four snapshots correct (paper Fig. 3)");
   return all_ok ? 0 : 1;
 }

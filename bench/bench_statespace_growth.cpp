@@ -94,9 +94,7 @@ int main() {
     std::printf("  %-8zu %12zu %12zu %10.0f %9.2f %7.2fx\n", threads,
                 graph.states(), graph.transitions,
                 graph.stats.statesPerSecond(), graph.seconds, speedup);
-    std::printf("  EXPLORE_STATS %s\n",
-                graph.stats.json("statespace_growth", "openSlot/openSlot/1")
-                    .c_str());
+    bench::exploreStats(graph.stats, "statespace_growth", "openSlot/openSlot/1");
   }
   bench::verdict(counts_ok,
                  "identical state/transition counts at every thread count");

@@ -1,10 +1,14 @@
 // Shared table-printing helpers for the experiment benches. Every bench
 // regenerates one evaluation claim of the paper and prints paper-vs-measured
-// rows; EXPERIMENTS.md records the outputs.
+// rows; EXPERIMENTS.md records the outputs. Machine-readable payloads
+// (explorer stats, metrics dumps, convergence histograms) all go through
+// jsonLine() so harnesses can scrape one uniform "  TAG {json}" shape.
 #pragma once
 
 #include <cstdio>
 #include <string>
+
+#include "mc/explore_stats.hpp"
 
 namespace cmc::bench {
 
@@ -26,6 +30,16 @@ inline void note(const std::string& text) { std::printf("  %s\n", text.c_str());
 
 inline void verdict(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "OK " : "FAIL", what.c_str());
+}
+
+// One machine-readable line: two-space indent, TAG, one JSON object.
+inline void jsonLine(const std::string& tag, const std::string& json) {
+  std::printf("  %s %s\n", tag.c_str(), json.c_str());
+}
+
+inline void exploreStats(const ExploreStats& stats, const std::string& bench,
+                         const std::string& config) {
+  jsonLine("EXPLORE_STATS", stats.json(bench, config));
 }
 
 }  // namespace cmc::bench

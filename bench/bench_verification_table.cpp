@@ -55,8 +55,7 @@ int main() {
                   std::string(toString(config.left)).c_str(),
                   std::string(toString(config.right)).c_str(),
                   config.flowlinks);
-    std::printf("  EXPLORE_STATS %s\n",
-                o.stats.json("verification_table", config_label).c_str());
+    bench::exploreStats(o.stats, "verification_table", config_label);
   }
   bench::verdict(all_ok,
                  "all 12 models pass safety + specification (paper: same)");

@@ -3,9 +3,39 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace cmc {
+
+namespace {
+
+// Goal lifecycle event (posted/achieved/cancelled). One relaxed load each
+// for the recorder and the registry when observability is off.
+void traceGoal(obs::EventKind kind, const std::string& box, GoalKind goal,
+               SlotId slot) {
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = kind;
+    ev.name.assign(toString(goal));
+    ev.actor = box;
+    ev.id = slot.value();
+    rec->record(std::move(ev));
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    switch (kind) {
+      case obs::EventKind::goalPosted: m->counter("goal.posted").add(); break;
+      case obs::EventKind::goalAchieved: m->counter("goal.achieved").add(); break;
+      case obs::EventKind::goalCancelled:
+        m->counter("goal.cancelled").add();
+        break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
 
 Box::Box(BoxId id, std::string name) : id_(id), name_(std::move(name)) {}
 
@@ -64,6 +94,7 @@ ChannelId Box::channelOf(SlotId slot) const {
 void Box::setGoal(SlotId slot, EndpointGoal goal) {
   detachSlot(slot);
   auto [it, inserted] = single_goals_.emplace(slot, std::move(goal));
+  traceGoal(obs::EventKind::goalPosted, name_, kindOf(it->second), slot);
   Outbox out;
   attach(it->second, slotRef(slot), out);
   flushOutbox(std::move(out));
@@ -86,6 +117,7 @@ void Box::linkSlots(SlotId a, SlotId b) {
   links_.push_back(std::move(entry));
   link_of_[a] = raw;
   link_of_[b] = raw;
+  traceGoal(obs::EventKind::goalPosted, name_, GoalKind::flowLink, a);
   Outbox out;
   raw->link.attach(slotRef(a), slotRef(b), out);
   flushOutbox(std::move(out));
@@ -107,6 +139,11 @@ void Box::fireRetries() {
     if (retryPending(goal)) {
       Outbox out;
       retry(goal, slotRef(slot), out);
+      if (!out.empty()) {
+        if (obs::MetricsRegistry* m = obs::metrics()) {
+          m->counter("goal.openslot_retries").add();
+        }
+      }
       flushOutbox(std::move(out));
     }
   }
@@ -126,16 +163,46 @@ const SlotEndpoint& Box::slot(SlotId slot) const {
   return it->second;
 }
 
+bool Box::goalSatisfied(SlotId slot) const {
+  if (auto it = single_goals_.find(slot); it != single_goals_.end()) {
+    switch (kindOf(it->second)) {
+      case GoalKind::openSlot:
+      case GoalKind::holdSlot:
+        return slotState(slot) == ProtocolState::flowing;
+      case GoalKind::closeSlot:
+        return slotState(slot) == ProtocolState::closed;
+      case GoalKind::flowLink:
+        break;  // unreachable: flowlinks are not single-slot goals
+    }
+    return false;
+  }
+  if (auto it = link_of_.find(slot); it != link_of_.end()) {
+    return FlowLink::matched(this->slot(it->second->a), this->slot(it->second->b));
+  }
+  return false;
+}
+
 ProtocolState Box::slotState(SlotId slot) const { return this->slot(slot).state(); }
 
 void Box::deliverTunnel(SlotId slot, const Signal& signal) {
   auto it = slots_.find(slot);
   if (it == slots_.end()) return;  // raced with channel teardown
+  // Goal-achieved edges (posted goal first reaching its target state) are
+  // only detectable across the delivery; evaluate the predicate on both
+  // sides when observability is on.
+  const bool observing =
+      obs::recorder() != nullptr || obs::metrics() != nullptr;
+  const bool satisfied_before = observing && goalSatisfied(slot);
   const DeliverResult result = it->second.deliver(signal);
   if (result.autoReply) {
     output_.tunnel.push_back(OutSignal{slot, *result.autoReply});
   }
   dispatch(slot, result.event, signal);
+  if (observing && !satisfied_before && goalSatisfied(slot)) {
+    if (auto kind = goalKind(slot)) {
+      traceGoal(obs::EventKind::goalAchieved, name_, *kind, slot);
+    }
+  }
   onSlotActivity(slot);
   maybeRequestRetryTimer();
 }
@@ -264,10 +331,14 @@ void Box::flushOutbox(Outbox&& out) {
 }
 
 void Box::detachSlot(SlotId slot) {
-  single_goals_.erase(slot);
+  if (auto sit = single_goals_.find(slot); sit != single_goals_.end()) {
+    traceGoal(obs::EventKind::goalCancelled, name_, kindOf(sit->second), slot);
+    single_goals_.erase(sit);
+  }
   auto it = link_of_.find(slot);
   if (it == link_of_.end()) return;
   LinkEntry* entry = it->second;
+  traceGoal(obs::EventKind::goalCancelled, name_, GoalKind::flowLink, slot);
   link_of_.erase(entry->a);
   link_of_.erase(entry->b);
   links_.erase(std::remove_if(links_.begin(), links_.end(),

@@ -84,6 +84,11 @@ class Box {
   // ------------------------------------------------------- slot predicates
   [[nodiscard]] const SlotEndpoint& slot(SlotId slot) const;
   [[nodiscard]] ProtocolState slotState(SlotId slot) const;
+  // True when the goal controlling `slot` sits in its target quiescent
+  // state: openSlot/holdSlot → flowing, closeSlot → closed, flowLink →
+  // both slots matched (Fig. 12). Convergence probes build path-quiescence
+  // predicates from this.
+  [[nodiscard]] bool goalSatisfied(SlotId slot) const;
   [[nodiscard]] bool isClosed(SlotId s) const { return slotState(s) == ProtocolState::closed; }
   [[nodiscard]] bool isOpening(SlotId s) const { return slotState(s) == ProtocolState::opening; }
   [[nodiscard]] bool isOpened(SlotId s) const { return slotState(s) == ProtocolState::opened; }

@@ -2,7 +2,44 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cmc {
+
+namespace {
+
+// utd bookkeeping changed for `slot` (v0 = new flag, v1 = closing mode).
+inline void traceUtd(SlotId slot, bool now_utd, bool closing_mode) {
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::flowlinkUpdate;
+    ev.name = now_utd ? "utd_set" : "utd_invalidated";
+    ev.actor.assign(obs::currentActor());
+    ev.id = slot.value();
+    ev.v0 = now_utd ? 1 : 0;
+    ev.v1 = closing_mode ? 1 : 0;
+    rec->record(std::move(ev));
+  }
+}
+
+// The flowlink pushed the other side's cached descriptor out on `slot`.
+inline void traceRefresh(SlotId slot, std::string_view via) {
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::flowlinkUpdate;
+    ev.name.assign(via);
+    ev.actor.assign(obs::currentActor());
+    ev.aux = "forward_descriptor";
+    ev.id = slot.value();
+    rec->record(std::move(ev));
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("flowlink.descriptor_forwards").add();
+  }
+}
+
+}  // namespace
 
 void FlowLink::attach(SlotEndpoint& a, SlotEndpoint& b, Outbox& out) {
   if (a.medium() && b.medium() && *a.medium() != *b.medium()) {
@@ -33,6 +70,8 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       closing_mode_ = false;
       utd(self) = false;
       utd(other) = false;
+      traceUtd(self.id(), false, closing_mode_);
+      traceUtd(other.id(), false, closing_mode_);
       refresh(self, other, out);
       break;
     }
@@ -44,6 +83,8 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       closing_mode_ = false;
       utd(self) = false;
       utd(other) = false;
+      traceUtd(self.id(), false, closing_mode_);
+      traceUtd(other.id(), false, closing_mode_);
       refresh(self, other, out);
       break;
     }
@@ -52,6 +93,7 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       // Our open on `self` was accepted; the oack carries the far side's
       // descriptor, which the other slot has not seen.
       utd(other) = false;
+      traceUtd(other.id(), false, closing_mode_);
       refresh(self, other, out);
       break;
     }
@@ -59,6 +101,7 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
     case SlotEvent::descriptorReceived: {
       // New describe on self: the other slot is no longer up to date.
       utd(other) = false;
+      traceUtd(other.id(), false, closing_mode_);
       refresh(self, other, out);
       break;
     }
@@ -81,6 +124,8 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       // until the environment asks to open again.
       closing_mode_ = true;
       utd_ = {false, false};
+      traceUtd(self.id(), false, closing_mode_);
+      traceUtd(other.id(), false, closing_mode_);
       if (isLive(other.state())) out.send(other.id(), other.sendClose());
       break;
     }
@@ -90,6 +135,7 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       // rest in both-closed; if the other side is live (the closeack ends
       // an old channel while new work arrived), resume matching.
       utd(self) = false;
+      traceUtd(self.id(), false, closing_mode_);
       if (!closing_mode_) refresh(self, other, out);
       break;
     }
@@ -114,6 +160,7 @@ void FlowLink::refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& ou
     case ProtocolState::flowing:
       out.send(target.id(), target.sendDescribe(fresh));
       utd(target) = true;
+      traceRefresh(target.id(), "describe");
       break;
     case ProtocolState::opened:
       // Accept the pending open, forwarding the descriptor from the other
@@ -121,6 +168,7 @@ void FlowLink::refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& ou
       // made irrelevant: only fresh selectors matter.
       out.send(target.id(), target.sendOack(fresh));
       utd(target) = true;
+      traceRefresh(target.id(), "oack");
       break;
     case ProtocolState::closed:
       if (!closing_mode_ || ablation_ignore_closing_mode) {
@@ -128,6 +176,7 @@ void FlowLink::refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& ou
         out.send(target.id(),
                  target.sendOpen(source.medium().value_or(Medium::audio), fresh));
         utd(target) = true;
+        traceRefresh(target.id(), "open");
       }
       break;
     case ProtocolState::opening:

@@ -8,6 +8,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace cmc::net {
@@ -43,6 +44,10 @@ bool TcpSignalingPeer::send(const ChannelMessage& message) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("net.frames_sent").add();
+    m->counter("net.bytes_sent").add(frame.size());
+  }
   return true;
 }
 
@@ -61,7 +66,10 @@ void TcpSignalingPeer::readLoop() {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
     decoder.feed(chunk, static_cast<std::size_t>(n));
+    obs::MetricsRegistry* m = obs::metrics();
+    if (m != nullptr) m->counter("net.bytes_received").add(static_cast<std::uint64_t>(n));
     while (auto message = decoder.next()) {
+      if (m != nullptr) m->counter("net.frames_received").add();
       if (on_message_) on_message_(*message);
     }
     if (decoder.error()) {

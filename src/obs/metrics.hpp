@@ -1,0 +1,122 @@
+// Metrics registry: named counters, gauges, and histograms with a one-call
+// JSON dump.
+//
+// Metrics are always safe to hammer from multiple threads (atomics all the
+// way down); the registry itself hands out stable references, so hot paths
+// can resolve a metric once and increment forever. Like tracing, the global
+// registry is disabled by default: instrumentation sites do one relaxed
+// load (`obs::metrics()`) and skip on nullptr.
+//
+// Histograms use base-2 exponential buckets over non-negative integer
+// observations (we feed them latencies in microseconds): bucket i counts
+// values in [2^(i-1), 2^i), bucket 0 counts zero. Quantiles are estimated
+// by linear interpolation within the winning bucket — coarse, but stable
+// and allocation-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cmc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+    // Track the high-water mark (e.g. peak queue depth).
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::int64_t delta) noexcept {
+    set(value_.load(std::memory_order_relaxed) + delta);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  // Quantile estimate in [0,1]; interpolates within the selected bucket.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create; returned references stay valid for the registry's
+  // lifetime, so call sites may cache them.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] const Counter* findCounter(std::string_view name) const;
+  [[nodiscard]] const Gauge* findGauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* findHistogram(std::string_view name) const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // Keys are sorted (std::map), so the dump is deterministic.
+  [[nodiscard]] std::string json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Process-wide registry; nullptr (default) disables metric collection.
+[[nodiscard]] MetricsRegistry* metrics() noexcept;
+void setMetrics(MetricsRegistry* registry) noexcept;
+
+}  // namespace cmc::obs

@@ -1,0 +1,86 @@
+#include "obs/probes.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace cmc::obs {
+
+void ConvergenceProbes::arm(std::string name, std::string bucket,
+                            std::int64_t now_us, Predicate quiescent) {
+  Armed probe;
+  probe.name = std::move(name);
+  probe.bucket = std::move(bucket);
+  probe.start_us = now_us;
+  probe.quiescent = std::move(quiescent);
+  if (TraceRecorder* rec = recorder()) {
+    rec->record(EventKind::mark, "probe_armed:" + probe.name, /*actor=*/{});
+  }
+  armed_.push_back(std::move(probe));
+}
+
+std::size_t ConvergenceProbes::check(std::int64_t now_us) {
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < armed_.size();) {
+    Armed& probe = armed_[i];
+    if (!probe.quiescent || !probe.quiescent()) {
+      ++i;
+      continue;
+    }
+    const std::int64_t latency = now_us - probe.start_us;
+    histograms_[probe.bucket].observe(latency);
+    results_[probe.name] = latency;
+    if (TraceRecorder* rec = recorder()) {
+      rec->record(EventKind::mark, "probe_converged:" + probe.name, /*actor=*/{},
+                  probe.bucket, /*id=*/0, /*v0=*/latency);
+    }
+    ++converged_;
+    ++fired;
+    armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return fired;
+}
+
+std::optional<std::int64_t> ConvergenceProbes::latencyUs(
+    const std::string& name) const {
+  auto it = results_.find(name);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Histogram* ConvergenceProbes::histogram(const std::string& bucket) const {
+  auto it = histograms_.find(bucket);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::string ConvergenceProbes::json() const {
+  std::string out = "{";
+  char buf[192];
+  bool first = true;
+  for (const auto& [bucket, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += bucket;
+    out += "\":";
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"count\":%llu,\"min_us\":%lld,\"max_us\":%lld,\"mean_us\":%.1f,"
+        "\"p50_us\":%.1f,\"p90_us\":%.1f,\"p99_us\":%.1f}",
+        static_cast<unsigned long long>(h.count()),
+        static_cast<long long>(h.min()), static_cast<long long>(h.max()),
+        h.mean(), h.quantile(0.50), h.quantile(0.90), h.quantile(0.99));
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+void ConvergenceProbes::reset() {
+  armed_.clear();
+  histograms_.clear();
+  results_.clear();
+  converged_ = 0;
+}
+
+}  // namespace cmc::obs

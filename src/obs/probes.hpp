@@ -1,0 +1,72 @@
+// Convergence probes: virtual-time latency from a goal change to path
+// quiescence.
+//
+// The paper's latency law (§VIII-C) says: after the last flowlink of a
+// signaling path initializes, media setup toward the farther endpoint takes
+// p*n + (p+1)*c. A probe captures exactly that interval empirically: arm it
+// at the moment of the goal change with a predicate describing the target
+// quiescent condition (bothFlowing along the path, media audible, both
+// closed, ...); the hosting Simulator re-evaluates armed probes after every
+// box stimulus completes, and the first time a predicate holds the probe
+// records `now - armed_at` into a named latency histogram and disarms.
+//
+// Predicates run only while at least one probe is armed, so an idle probe
+// set costs one `empty()` check per stimulus. Probes are owned by a single
+// simulation thread; they are not thread-safe by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cmc::obs {
+
+class ConvergenceProbes {
+ public:
+  using Predicate = std::function<bool()>;
+
+  // Arm a probe. `bucket` names the histogram the latency lands in (several
+  // probes — e.g. runs with different seeds — may share one bucket);
+  // `name` identifies this single measurement.
+  void arm(std::string name, std::string bucket, std::int64_t now_us,
+           Predicate quiescent);
+
+  // Evaluate armed probes; satisfied ones record and disarm. Returns the
+  // number of probes that converged in this call.
+  std::size_t check(std::int64_t now_us);
+
+  [[nodiscard]] bool empty() const noexcept { return armed_.empty(); }
+  [[nodiscard]] std::size_t armedCount() const noexcept { return armed_.size(); }
+  [[nodiscard]] std::size_t convergedCount() const noexcept { return converged_; }
+
+  // Latency of a named measurement, once converged.
+  [[nodiscard]] std::optional<std::int64_t> latencyUs(const std::string& name) const;
+
+  [[nodiscard]] const Histogram* histogram(const std::string& bucket) const;
+
+  // {"<bucket>":{count,...}, ...} — per-bucket latency histograms (µs).
+  [[nodiscard]] std::string json() const;
+
+  // Drop armed probes and recorded results.
+  void reset();
+
+ private:
+  struct Armed {
+    std::string name;
+    std::string bucket;
+    std::int64_t start_us = 0;
+    Predicate quiescent;
+  };
+
+  std::vector<Armed> armed_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::int64_t> results_;
+  std::size_t converged_ = 0;
+};
+
+}  // namespace cmc::obs

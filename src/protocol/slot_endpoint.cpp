@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cmc {
 
 std::string_view toString(ProtocolState state) noexcept {
@@ -27,11 +30,33 @@ namespace {
       << id;
   throw std::logic_error(oss.str());
 }
+
+// One relaxed load when tracing is off; the model checker drives millions
+// of these per second, so nothing heavier may sit on this path.
+inline void traceTransition(SlotId id, ProtocolState from, ProtocolState to) {
+  if (from == to) return;
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::slotTransition;
+    ev.name.assign(toString(to));
+    ev.actor.assign(obs::currentActor());
+    ev.aux.assign(toString(from));
+    ev.id = id.value();
+    rec->record(std::move(ev));
+  }
+}
+
+inline void countCacheRefresh() {
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("slot.descriptor_cache_refreshes").add();
+  }
+}
 }  // namespace
 
 Signal SlotEndpoint::sendOpen(Medium medium, Descriptor descriptor) {
   if (state_ != ProtocolState::closed) illegalSend("open", state_, id_);
   state_ = ProtocolState::opening;
+  traceTransition(id_, ProtocolState::closed, state_);
   medium_ = medium;
   last_descriptor_sent_ = descriptor.id;
   return OpenSignal{medium, std::move(descriptor)};
@@ -40,6 +65,7 @@ Signal SlotEndpoint::sendOpen(Medium medium, Descriptor descriptor) {
 Signal SlotEndpoint::sendOack(Descriptor descriptor) {
   if (state_ != ProtocolState::opened) illegalSend("oack", state_, id_);
   state_ = ProtocolState::flowing;
+  traceTransition(id_, ProtocolState::opened, state_);
   last_descriptor_sent_ = descriptor.id;
   return OackSignal{std::move(descriptor)};
 }
@@ -49,7 +75,9 @@ Signal SlotEndpoint::sendClose() {
       state_ != ProtocolState::flowing) {
     illegalSend("close", state_, id_);
   }
+  const ProtocolState from = state_;
   state_ = ProtocolState::closing;
+  traceTransition(id_, from, state_);
   return CloseSignal{};
 }
 
@@ -71,8 +99,10 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
       const auto& open = std::get<OpenSignal>(signal);
       if (state_ == ProtocolState::closed) {
         state_ = ProtocolState::opened;
+        traceTransition(id_, ProtocolState::closed, state_);
         medium_ = open.medium;
         remote_descriptor_ = open.descriptor;
+        countCacheRefresh();
         return {SlotEvent::openReceived, std::nullopt};
       }
       if (state_ == ProtocolState::opening) {
@@ -85,8 +115,10 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
         // We lose: back off and become the acceptor. The peer ignores the
         // open we already sent; the incoming open now governs.
         state_ = ProtocolState::opened;
+        traceTransition(id_, ProtocolState::opening, state_);
         medium_ = open.medium;
         remote_descriptor_ = open.descriptor;
+        countCacheRefresh();
         return {SlotEvent::becameAcceptor, std::nullopt};
       }
       // open in opened/flowing/closing: obsolete or protocol misuse; drop.
@@ -97,7 +129,9 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
       const auto& oack = std::get<OackSignal>(signal);
       if (state_ == ProtocolState::opening) {
         state_ = ProtocolState::flowing;
+        traceTransition(id_, ProtocolState::opening, state_);
         remote_descriptor_ = oack.descriptor;
+        countCacheRefresh();
         return {SlotEvent::oackReceived, std::nullopt};
       }
       // oack while closing (we gave up) or in any other state: obsolete.
@@ -116,13 +150,16 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
         return {SlotEvent::ignored, Signal{CloseAckSignal{}}};
       }
       // opening (our open was rejected), opened, or flowing.
+      const ProtocolState from = state_;
       reset();
+      traceTransition(id_, from, state_);
       return {SlotEvent::closedByPeer, Signal{CloseAckSignal{}}};
     }
 
     case SignalKind::closeack: {
       if (state_ == ProtocolState::closing) {
         reset();
+        traceTransition(id_, ProtocolState::closing, state_);
         return {SlotEvent::fullyClosed, std::nullopt};
       }
       return {SlotEvent::ignored, std::nullopt};
@@ -132,6 +169,7 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
       const auto& describe = std::get<DescribeSignal>(signal);
       if (state_ == ProtocolState::flowing) {
         remote_descriptor_ = describe.descriptor;
+        countCacheRefresh();
         return {SlotEvent::descriptorReceived, std::nullopt};
       }
       // describe racing with our close, or arriving before we answered an

@@ -32,13 +32,20 @@ class EventLoop {
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  // Events executed since construction (observability: event-loop
+  // throughput = executed() / wall time).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  // Widest the queue has ever been.
+  [[nodiscard]] std::size_t peakPending() const noexcept { return peak_pending_; }
 
   // Run one event; returns false if none pending.
   bool step() {
     if (queue_.empty()) return false;
+    if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.when;
+    ++executed_;
     ev.handler();
     return true;
   }
@@ -77,6 +84,8 @@ class EventLoop {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace cmc

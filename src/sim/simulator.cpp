@@ -1,11 +1,44 @@
 #include "sim/simulator.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace cmc {
 
 Simulator::Simulator(TimingModel timing, std::uint64_t seed)
     : timing_(timing), rng_(seed) {}
+
+Simulator::~Simulator() {
+  if (attached_trace_ != nullptr) {
+    // The recorder may outlive this simulator; its time source captures
+    // `this` and must not dangle.
+    attached_trace_->setTimeSource(nullptr);
+    if (obs::recorder() == attached_trace_) obs::setRecorder(nullptr);
+  }
+  if (attached_metrics_ != nullptr && obs::metrics() == attached_metrics_) {
+    obs::setMetrics(nullptr);
+  }
+  if (owns_log_time_) log::setSimTimeSource(nullptr);
+}
+
+void Simulator::attachTrace(obs::TraceRecorder* rec) {
+  if (rec != nullptr) {
+    rec->setTimeSource([this]() { return nowUs(); });
+  }
+  obs::setRecorder(rec);
+  attached_trace_ = rec;
+}
+
+void Simulator::attachMetrics(obs::MetricsRegistry* m) {
+  obs::setMetrics(m);
+  attached_metrics_ = m;
+}
+
+void Simulator::useSimTimeForLogs() {
+  log::setSimTimeSource([this]() { return nowUs(); });
+  owns_log_time_ = true;
+}
 
 Box& Simulator::box(const std::string& name) {
   auto it = boxes_.find(name);
@@ -64,9 +97,31 @@ void Simulator::stimulate(Box& box, std::function<void()> fn) {
   const SimTime start = loop_.now() < busy ? busy : loop_.now();
   const SimTime done = start + timing_.processing;
   busy = done;
-  loop_.scheduleAt(done, [this, &box, fn = std::move(fn)]() {
-    fn();
-    drain(box);
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("sim.stimuli").add();
+    m->gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.pending()));
+    const auto busy_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             done - start)
+                             .count();
+    m->counter("sim.busy_us").add(static_cast<std::uint64_t>(busy_us));
+    m->counter("sim.box_busy_us." + box.name())
+        .add(static_cast<std::uint64_t>(busy_us));
+  }
+  const std::int64_t start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(start.sinceStart())
+          .count();
+  loop_.scheduleAt(done, [this, &box, start_us, fn = std::move(fn)]() {
+    {
+      // Value-type instrumentation inside (SlotEndpoint transitions,
+      // flowlink updates) attributes events to this box via the scope.
+      obs::ActorScope scope(box.name());
+      fn();
+      drain(box);
+    }
+    if (obs::TraceRecorder* rec = obs::recorder()) {
+      rec->recordSpan("stimulus", box.name(), start_us, nowUs() - start_us);
+    }
+    if (!probes_.empty()) probes_.check(nowUs());
   });
 }
 
@@ -88,6 +143,17 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     const Route route = routeOf(sender, item.slot);
     ChannelRecord& rec = record(route.channel);
     const std::string& to = route.from_side_a ? rec.boxB : rec.boxA;
+    if (obs::TraceRecorder* trace = obs::recorder()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::signalSend;
+      ev.name.assign(toString(kindOf(item.signal)));
+      ev.actor = from;
+      ev.aux = to;
+      ev.id = item.slot.value();
+      ev.v0 = static_cast<std::int64_t>(route.channel.value());
+      ev.v1 = route.tunnel;
+      trace->record(std::move(ev));
+    }
     const SimDuration latency = timing_.sampleNetwork(rng_);
     loop_.schedule(latency, [this, to, channel = route.channel,
                              tunnel = route.tunnel, from,
@@ -206,6 +272,22 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
   const SlotId slot = slots[tunnel];
   Box& target = box(to_box);
   ++signals_delivered_;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter(std::string("sim.signal.") +
+               std::string(toString(kindOf(signal))))
+        .add();
+  }
+  if (obs::TraceRecorder* trace = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::signalRecv;
+    ev.name.assign(toString(kindOf(signal)));
+    ev.actor = to_box;
+    ev.aux = from_box;
+    ev.id = slot.value();
+    ev.v0 = static_cast<std::int64_t>(channel.value());
+    ev.v1 = tunnel;
+    trace->record(std::move(ev));
+  }
   if (onSignalDelivered) {
     onSignalDelivered(from_box, to_box, signal, loop_.now());
   }

@@ -23,8 +23,14 @@
 
 #include "core/box.hpp"
 #include "media/network.hpp"
+#include "obs/probes.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/timing.hpp"
+
+namespace cmc::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace cmc::obs
 
 namespace cmc {
 
@@ -32,6 +38,7 @@ class Simulator {
  public:
   explicit Simulator(TimingModel timing = TimingModel::paperDefaults(),
                      std::uint64_t seed = 1);
+  ~Simulator();
 
   // Construct and register a box. The box's name must be unique; boxes
   // address channel requests to each other by name.
@@ -73,6 +80,30 @@ class Simulator {
   [[nodiscard]] std::uint64_t signalsDelivered() const noexcept {
     return signals_delivered_;
   }
+
+  // ---------------------------------------------------------- observability
+  // Virtual time since start in microseconds (the timebase every obs
+  // artifact — traces, probes, metrics spans — is expressed in).
+  [[nodiscard]] std::int64_t nowUs() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               loop_.now().sinceStart())
+        .count();
+  }
+
+  // Install `rec` as the global trace recorder and retime it onto this
+  // simulation's virtual clock, so exported traces are deterministic for a
+  // fixed seed. Pass nullptr to detach. The destructor detaches whatever
+  // this simulator installed.
+  void attachTrace(obs::TraceRecorder* rec);
+  // Install `m` as the global metrics registry (detached on destruction).
+  void attachMetrics(obs::MetricsRegistry* m);
+  // Stamp log lines with this simulation's virtual time instead of the
+  // wall clock (restored on destruction).
+  void useSimTimeForLogs();
+
+  // Convergence probes: armed predicates re-checked after every completed
+  // box stimulus, capturing the exact virtual time a path quiesced.
+  [[nodiscard]] obs::ConvergenceProbes& probes() noexcept { return probes_; }
 
   // Hook invoked on every tunnel-signal delivery (tracing/metrics).
   std::function<void(const std::string& from, const std::string& to,
@@ -121,6 +152,12 @@ class Simulator {
   std::map<std::pair<std::string, SlotId>, Route> routes_;
   std::map<std::string, SimTime> busy_until_;
   std::uint64_t signals_delivered_ = 0;
+  obs::ConvergenceProbes probes_;
+  // Globals this simulator installed, cleared on destruction so a stale
+  // pointer never outlives the run that owns it.
+  obs::TraceRecorder* attached_trace_ = nullptr;
+  obs::MetricsRegistry* attached_metrics_ = nullptr;
+  bool owns_log_time_ = false;
 };
 
 }  // namespace cmc

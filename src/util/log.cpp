@@ -1,13 +1,21 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 namespace cmc::log {
 
 namespace {
 std::atomic<Level> g_level{Level::none};
-std::atomic<std::ostream*> g_sink{&std::clog};
+std::atomic<bool> g_timestamps{true};
+// The sink pointer and the sim-time source are only touched under g_mutex:
+// write() dereferences the sink while holding it, so a concurrent setSink
+// must serialize against in-flight writes (it used to swap the pointer with
+// a bare atomic store, racing with the dereference).
+std::ostream* g_sink = &std::clog;
+std::function<std::int64_t()> g_sim_time;
 std::mutex g_mutex;
 
 constexpr std::string_view levelName(Level level) noexcept {
@@ -20,6 +28,23 @@ constexpr std::string_view levelName(Level level) noexcept {
   }
   return "NONE ";
 }
+
+// Called under g_mutex. Fills `buf` with the line's timestamp.
+void formatStamp(char* buf, std::size_t size) {
+  if (g_sim_time) {
+    const std::int64_t us = g_sim_time();
+    std::snprintf(buf, size, "+%lld.%03lldms",
+                  static_cast<long long>(us / 1000),
+                  static_cast<long long>(us % 1000));
+    return;
+  }
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  tm parts{};
+  gmtime_r(&ts.tv_sec, &parts);
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03ld", parts.tm_hour, parts.tm_min,
+                parts.tm_sec, ts.tv_nsec / 1'000'000);
+}
 }  // namespace
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
@@ -27,12 +52,27 @@ Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 void setLevel(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 void setSink(std::ostream* sink) noexcept {
-  g_sink.store(sink != nullptr ? sink : &std::clog, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink != nullptr ? sink : &std::clog;
+}
+
+void setSimTimeSource(std::function<std::int64_t()> now_us) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sim_time = std::move(now_us);
+}
+
+void setTimestamps(bool enabled) noexcept {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
 }
 
 void write(Level level, std::string_view component, std::string_view message) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::ostream& os = *g_sink.load(std::memory_order_relaxed);
+  std::ostream& os = *g_sink;
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    char stamp[32];
+    formatStamp(stamp, sizeof(stamp));
+    os << '[' << stamp << "] ";
+  }
   os << '[' << levelName(level) << "] " << component << ": " << message << '\n';
 }
 

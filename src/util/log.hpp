@@ -3,8 +3,15 @@
 // Logging defaults to off (Level::none) so tests and benchmarks stay quiet;
 // examples turn on Level::info to narrate scenarios. The logger is a
 // process-wide sink guarded for concurrent use by the TCP transport threads.
+//
+// Every line carries a timestamp: wall-clock (UTC, HH:MM:SS.mmm) by
+// default, or virtual time when a sim-time source is installed — the
+// Simulator can inject its clock so scenario narration lines up with the
+// discrete-event timeline (see Simulator::useSimTimeForLogs).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -21,6 +28,15 @@ void setLevel(Level level) noexcept;
 
 // Sink defaults to std::clog; tests may redirect.
 void setSink(std::ostream* sink) noexcept;
+
+// Install a virtual-time source (microseconds since simulation start);
+// lines then show "+123.456ms" instead of wall-clock time. Pass nullptr to
+// revert to wall-clock. The source is called under the log mutex.
+void setSimTimeSource(std::function<std::int64_t()> now_us);
+
+// Timestamps are on by default; tests that assert exact line prefixes may
+// turn them off.
+void setTimestamps(bool enabled) noexcept;
 
 void write(Level level, std::string_view component, std::string_view message);
 
