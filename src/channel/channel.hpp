@@ -84,6 +84,20 @@ class ChannelState {
     return queueToward(toward).size();
   }
 
+  // --- Fault injection (docs/FAULTS.md). The channel itself stays FIFO;
+  // faults are modeled as losing or duplicating the head message, which is
+  // how loss/duplication looks to the receiving slot on a FIFO transport.
+  void dropHead(Side toward) {
+    auto& q = queueToward(toward);
+    if (!q.empty()) q.pop_front();
+  }
+  void duplicateHead(Side toward) {
+    auto& q = queueToward(toward);
+    if (q.empty()) return;
+    ChannelMessage copy = q.front();
+    q.push_front(std::move(copy));
+  }
+
   [[nodiscard]] bool empty() const noexcept {
     return queues_[0].empty() && queues_[1].empty();
   }

@@ -48,7 +48,8 @@ std::vector<SlotId> Box::addChannelEnd(ChannelId channel, std::uint32_t tunnels,
   end.peer = peer_name;
   for (std::uint32_t t = 0; t < tunnels; ++t) {
     const SlotId slot = slot_ids_.next();
-    slots_.emplace(slot, SlotEndpoint{slot, initiator});
+    auto [it, inserted] = slots_.emplace(slot, SlotEndpoint{slot, initiator});
+    it->second.setStabilizing(stabilization_enabled_);
     end.slots.push_back(slot);
   }
   std::vector<SlotId> created = end.slots;
@@ -148,6 +149,89 @@ void Box::fireRetries() {
     }
   }
   maybeRequestRetryTimer();
+}
+
+void Box::enableStabilization(bool on) {
+  stabilization_enabled_ = on;
+  for (auto& [id, slot] : slots_) slot.setStabilizing(on);
+}
+
+void Box::refreshGoals() {
+  for (auto& [slot_id, goal] : single_goals_) {
+    if (converged(goal, slotRef(slot_id))) continue;
+    Outbox out;
+    refresh(goal, slotRef(slot_id), out);
+    if (!out.empty()) {
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        m->counter("goal.refreshes").add();
+      }
+    }
+    flushOutbox(std::move(out));
+  }
+  for (auto& entry : links_) {
+    if (entry->link.converged(slotRef(entry->a), slotRef(entry->b))) continue;
+    Outbox out;
+    entry->link.stabilize(slotRef(entry->a), slotRef(entry->b), out);
+    if (!out.empty()) {
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        m->counter("goal.refreshes").add();
+      }
+    }
+    flushOutbox(std::move(out));
+  }
+  maybeRequestRetryTimer();
+}
+
+bool Box::needsRefresh() const {
+  for (const auto& [slot_id, goal] : single_goals_) {
+    if (!converged(goal, slot(slot_id))) return true;
+  }
+  for (const auto& entry : links_) {
+    if (!entry->link.converged(slot(entry->a), slot(entry->b))) return true;
+  }
+  return false;
+}
+
+void Box::crashRestart() {
+  // Everything volatile dies with the process: undrained outputs and all
+  // protocol endpoint state. Channel wiring and goal annotations survive
+  // (configuration, not run-state).
+  output_ = Output{};
+  for (auto& [channel, end] : channels_) {
+    for (SlotId slot_id : end.slots) {
+      SlotEndpoint fresh{slot_id, end.initiator};
+      fresh.setStabilizing(stabilization_enabled_);
+      slots_[slot_id] = fresh;
+    }
+  }
+  for (auto& [slot_id, goal] : single_goals_) {
+    Outbox out;
+    attach(goal, slotRef(slot_id), out);
+    flushOutbox(std::move(out));
+  }
+  for (auto& entry : links_) {
+    Outbox out;
+    entry->link.attach(slotRef(entry->a), slotRef(entry->b), out);
+    flushOutbox(std::move(out));
+  }
+  if (stabilization_enabled_) {
+    // A peer may still be flowing on a tunnel we no longer remember; it has
+    // no reason to ever signal first (it is converged from its own view).
+    // Probe every still-closed goal-bound slot with a close so both ends
+    // fall back to closed and re-converge from there.
+    for (auto& [slot_id, slot] : slots_) {
+      if (slot.state() != ProtocolState::closed) continue;
+      if (single_goals_.count(slot_id) == 0 && link_of_.count(slot_id) == 0) {
+        continue;
+      }
+      output_.tunnel.push_back(OutSignal{slot_id, slot.probeClose()});
+    }
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("box.crash_restarts").add();
+  }
+  maybeRequestRetryTimer();
+  onCrashRestart();
 }
 
 bool Box::hasPendingRetries() const {

@@ -81,6 +81,27 @@ class Box {
   void fireRetries();
   [[nodiscard]] bool hasPendingRetries() const;
 
+  // ------------------------------------------------------- stabilization
+  // Fault-tolerant runtimes (docs/FAULTS.md) mark every slot stabilizing:
+  // endpoints then tolerate re-sent signals and goals may re-assert
+  // themselves. Off by default — the baseline protocol semantics are
+  // unchanged until a fault plan opts in.
+  void enableStabilization(bool on);
+  [[nodiscard]] bool stabilizationEnabled() const noexcept {
+    return stabilization_enabled_;
+  }
+  // Re-assert every goal that is not where it wants to be (idempotent;
+  // runtime-paced, analogous to fireRetries).
+  void refreshGoals();
+  // True when some goal on this box is not converged and a refresh could
+  // make progress toward it.
+  [[nodiscard]] bool needsRefresh() const;
+  // Crash/restart fault: lose all volatile slot state (protocol states,
+  // descriptor caches, in-flight outputs) while keeping channels and goal
+  // annotations, then rejoin the path — goals re-attach, and any slot still
+  // closed afterwards sends a close-probe forcing its peer to re-converge.
+  void crashRestart();
+
   // ------------------------------------------------------- slot predicates
   [[nodiscard]] const SlotEndpoint& slot(SlotId slot) const;
   [[nodiscard]] ProtocolState slotState(SlotId slot) const;
@@ -145,6 +166,10 @@ class Box {
   virtual void onTimer(const std::string& /*tag*/) {}
   // A slot's protocol state may have changed (programs re-check guards).
   virtual void onSlotActivity(SlotId) {}
+  // The box lost its volatile state in a crash and was restarted
+  // (crashRestart); feature code re-syncs anything derived from slot state
+  // (e.g. stops media that no longer has a flowing slot).
+  virtual void onCrashRestart() {}
 
   // --------------------------------------------------- subclass helpers
   void sendMeta(ChannelId channel, MetaSignal meta);
@@ -183,6 +208,7 @@ class Box {
   std::map<SlotId, LinkEntry*> link_of_;
   Output output_;
   bool retry_timer_outstanding_ = false;
+  bool stabilization_enabled_ = false;
 
  public:
   // Pacing for openslot retries; runtimes may tune it.

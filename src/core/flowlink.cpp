@@ -72,6 +72,16 @@ void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
       utd(other) = false;
       traceUtd(self.id(), false, closing_mode_);
       traceUtd(other.id(), false, closing_mode_);
+      if (self.state() == ProtocolState::flowing && self.stabilizing() &&
+          described(other)) {
+        // Redundant open on an already-flowing slot (stabilization mode):
+        // the re-opening peer is stuck in opening and lost our oack, so the
+        // describe that refresh() would send will be ignored there. Answer
+        // with the oack it is actually waiting for.
+        out.send(self.id(), self.resendOack(*other.remoteDescriptor()));
+        utd(self) = true;
+        traceRefresh(self.id(), "re-oack");
+      }
       refresh(self, other, out);
       break;
     }
@@ -184,6 +194,48 @@ void FlowLink::refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& ou
       // In-flight; the answer (oack/close/closeack) will re-trigger refresh.
       break;
   }
+}
+
+void FlowLink::stabilize(SlotEndpoint& a, SlotEndpoint& b, Outbox& out) {
+  // Closes stuck waiting for a lost closeack are re-sent in every mode.
+  if (a.state() == ProtocolState::closing) out.send(a.id(), a.resendClose());
+  if (b.state() == ProtocolState::closing) out.send(b.id(), b.resendClose());
+  if (closing_mode_) {
+    // Teardown under way: the propagated close may have been lost; push the
+    // surviving side down again rather than re-opening anything.
+    if (isLive(a.state())) out.send(a.id(), a.sendClose());
+    if (isLive(b.state())) out.send(b.id(), b.sendClose());
+    return;
+  }
+  // Distrust utd: a forwarded describe/oack/open may never have arrived.
+  utd_ = {false, false};
+  traceUtd(a.id(), false, closing_mode_);
+  traceUtd(b.id(), false, closing_mode_);
+  restabilizeOne(a, b, out);
+  restabilizeOne(b, a, out);
+  refresh(a, b, out);
+}
+
+void FlowLink::restabilizeOne(SlotEndpoint& target, SlotEndpoint& source,
+                              Outbox& out) {
+  // An open we sent may have been lost, leaving `target` stuck in opening
+  // (refreshOne deliberately skips in-flight states). Re-assert it — or, if
+  // the descriptor that justified it is gone, retreat to closed.
+  if (target.state() != ProtocolState::opening) return;
+  if (described(source)) {
+    out.send(target.id(), target.resendOpen(*source.remoteDescriptor()));
+    utd(target) = true;
+    traceRefresh(target.id(), "re-open");
+  } else {
+    out.send(target.id(), target.sendClose());
+  }
+}
+
+bool FlowLink::converged(const SlotEndpoint& a,
+                         const SlotEndpoint& b) const noexcept {
+  if (!matched(a, b)) return false;
+  if (a.state() == ProtocolState::closed) return true;  // both closed
+  return utd_[0] && utd_[1];  // both flowing, both told the latest
 }
 
 void FlowLink::canonicalize(ByteWriter& w) const {

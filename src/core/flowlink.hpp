@@ -69,6 +69,17 @@ class FlowLink {
   [[nodiscard]] bool upToDate(const SlotEndpoint& slot) const noexcept;
   [[nodiscard]] bool closingMode() const noexcept { return closing_mode_; }
 
+  // Stabilization (docs/FAULTS.md): re-assert the link after possible
+  // signal loss — re-send stuck closes, re-propagate a teardown, and
+  // distrust the utd bookkeeping (the forwarded signal may never have
+  // arrived) so descriptors are forwarded again. Idempotent; requires
+  // stabilizing slots.
+  void stabilize(SlotEndpoint& a, SlotEndpoint& b, Outbox& out);
+  // True when the link rests in a goal substate with nothing left to
+  // forward; a stabilize() would send nothing useful.
+  [[nodiscard]] bool converged(const SlotEndpoint& a,
+                               const SlotEndpoint& b) const noexcept;
+
   // ABLATION KNOB (benchmarks only; defaults off): ignore closing mode, so
   // the flow bias applies even while a teardown initiated by the
   // environment is under way. bench_ablation demonstrates that without the
@@ -84,6 +95,7 @@ class FlowLink {
   // whatever signal the slot's state allows.
   void refresh(SlotEndpoint& a, SlotEndpoint& b, Outbox& out);
   void refreshOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& out);
+  void restabilizeOne(SlotEndpoint& target, SlotEndpoint& source, Outbox& out);
 
   [[nodiscard]] static bool described(const SlotEndpoint& slot) noexcept {
     return (slot.state() == ProtocolState::opened ||

@@ -47,6 +47,18 @@ inline void retry(EndpointGoal& goal, SlotEndpoint& slot, Outbox& out) {
   if (auto* open = std::get_if<OpenSlotGoal>(&goal)) open->retry(slot, out);
 }
 
+// Stabilization (docs/FAULTS.md): re-assert the goal against the slot after
+// possible signal loss. Idempotent; fault-tolerant runtimes only.
+inline void refresh(EndpointGoal& goal, SlotEndpoint& slot, Outbox& out) {
+  std::visit([&](auto& g) { g.refresh(slot, out); }, goal);
+}
+
+// True when a refresh of this goal would send nothing useful.
+[[nodiscard]] inline bool converged(const EndpointGoal& goal,
+                                    const SlotEndpoint& slot) noexcept {
+  return std::visit([&](const auto& g) { return g.converged(slot); }, goal);
+}
+
 inline void canonicalize(const EndpointGoal& goal, ByteWriter& w) {
   std::visit([&](const auto& g) { g.canonicalize(w); }, goal);
 }

@@ -16,11 +16,14 @@ namespace {
 
 // Accept an offered channel by sending oack with our own receiver
 // description, then select answering the opener's descriptor (the
-// !oack / !select sequence of Fig. 9).
+// !oack / !select sequence of Fig. 9). A stabilizing endpoint re-accepts a
+// redundant open while already flowing; the oack is then a re-send.
 void acceptOffered(SlotEndpoint& slot, const MediaIntent& intent,
                    const Descriptor& self, Outbox& out) {
   const Descriptor remote = *slot.remoteDescriptor();  // set by the open
-  out.send(slot.id(), slot.sendOack(self));
+  out.send(slot.id(), slot.state() == ProtocolState::flowing
+                          ? slot.resendOack(self)
+                          : slot.sendOack(self));
   out.send(slot.id(), slot.sendSelect(intent.answer(remote)));
 }
 
@@ -47,6 +50,20 @@ void signalMuteChange(bool changed_in, bool changed_out, SlotEndpoint& slot,
   if (!slot.canModify()) return;  // picked up at the next open/accept
   if (changed_in) out.send(slot.id(), slot.sendDescribe(self));
   if (changed_out) answerRemote(slot, intent, out);
+}
+
+// The media handshake at a flowing slot is fully settled from this end's
+// view: we hold the peer's descriptor, our selector answers it, and the
+// peer's selector answers the descriptor we most recently sent. Anything
+// less means a signal may have been lost and a refresh could help.
+bool flowingComplete(const SlotEndpoint& slot) noexcept {
+  return slot.state() == ProtocolState::flowing && slot.remoteDescriptor() &&
+         slot.lastSelectorSent() &&
+         slot.lastSelectorSent()->answersDescriptor ==
+             slot.remoteDescriptor()->id &&
+         slot.lastSelectorReceived() &&
+         slot.lastSelectorReceived()->answersDescriptor ==
+             slot.lastDescriptorSent();
 }
 
 // Unilateral codec re-selection (Section VI-B): legal at any time after the
@@ -165,6 +182,37 @@ void OpenSlotGoal::accept(SlotEndpoint& slot, Outbox& out) {
   acceptOffered(slot, intent_, selfDescriptor(), out);
 }
 
+void OpenSlotGoal::refresh(SlotEndpoint& slot, Outbox& out) {
+  switch (slot.state()) {
+    case ProtocolState::closed:
+      // A pending rejection is the retry timer's business; anything else
+      // means the attach-time open was lost.
+      if (!retry_pending_) {
+        out.send(slot.id(), slot.sendOpen(medium_, selfDescriptor()));
+      }
+      break;
+    case ProtocolState::opening:
+      out.send(slot.id(), slot.resendOpen(selfDescriptor()));
+      break;
+    case ProtocolState::opened:
+      accept(slot, out);
+      break;
+    case ProtocolState::flowing:
+      if (!flowingComplete(slot)) {
+        refreshFlowing(slot, intent_, selfDescriptor(), out);
+      }
+      break;
+    case ProtocolState::closing:
+      out.send(slot.id(), slot.resendClose());
+      break;
+  }
+}
+
+bool OpenSlotGoal::converged(const SlotEndpoint& slot) const noexcept {
+  if (slot.state() == ProtocolState::closed) return retry_pending_;
+  return flowingComplete(slot);
+}
+
 void OpenSlotGoal::canonicalize(ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(kind));
   w.u8(static_cast<std::uint8_t>(medium_));
@@ -209,6 +257,18 @@ void CloseSlotGoal::onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out) {
     case SlotEvent::ignored:
       break;
   }
+}
+
+void CloseSlotGoal::refresh(SlotEndpoint& slot, Outbox& out) {
+  if (isLive(slot.state())) {
+    out.send(slot.id(), slot.sendClose());
+  } else if (slot.state() == ProtocolState::closing) {
+    out.send(slot.id(), slot.resendClose());
+  }
+}
+
+bool CloseSlotGoal::converged(const SlotEndpoint& slot) const noexcept {
+  return slot.state() == ProtocolState::closed;
 }
 
 void CloseSlotGoal::canonicalize(ByteWriter& w) const {
@@ -289,6 +349,36 @@ bool HoldSlotGoal::reselect(Codec codec, SlotEndpoint& slot, Outbox& out) {
 
 void HoldSlotGoal::accept(SlotEndpoint& slot, Outbox& out) {
   acceptOffered(slot, intent_, selfDescriptor(), out);
+}
+
+void HoldSlotGoal::refresh(SlotEndpoint& slot, Outbox& out) {
+  switch (slot.state()) {
+    case ProtocolState::opened:
+      accept(slot, out);
+      break;
+    case ProtocolState::flowing:
+      if (!flowingComplete(slot)) {
+        refreshFlowing(slot, intent_, selfDescriptor(), out);
+      }
+      break;
+    case ProtocolState::opening:
+      // A holdslot never originates an open, so an in-flight one was
+      // inherited from an earlier controller; under loss nothing will
+      // resolve it. Retreat to closed — the stabilization-mode exception to
+      // "a holdslot never sends close" (docs/FAULTS.md): the peer that
+      // wants media will simply open again.
+      out.send(slot.id(), slot.sendClose());
+      break;
+    case ProtocolState::closing:
+      out.send(slot.id(), slot.resendClose());
+      break;
+    case ProtocolState::closed:
+      break;
+  }
+}
+
+bool HoldSlotGoal::converged(const SlotEndpoint& slot) const noexcept {
+  return slot.state() == ProtocolState::closed || flowingComplete(slot);
 }
 
 void HoldSlotGoal::canonicalize(ByteWriter& w) const {

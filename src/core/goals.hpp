@@ -66,6 +66,13 @@ class OpenSlotGoal {
   [[nodiscard]] bool retryPending() const noexcept { return retry_pending_; }
   void retry(SlotEndpoint& slot, Outbox& out);
 
+  // Stabilization (docs/FAULTS.md): re-assert whatever the goal still wants
+  // from the slot after possible signal loss. Idempotent; only called by
+  // fault-tolerant runtimes on stabilizing slots.
+  void refresh(SlotEndpoint& slot, Outbox& out);
+  // True when the goal is where it wants to be and a refresh would be noise.
+  [[nodiscard]] bool converged(const SlotEndpoint& slot) const noexcept;
+
   [[nodiscard]] Medium medium() const noexcept { return medium_; }
   [[nodiscard]] const MediaIntent& intent() const noexcept { return intent_; }
 
@@ -94,6 +101,9 @@ class CloseSlotGoal {
   void attach(SlotEndpoint& slot, Outbox& out);
   void onEvent(SlotEndpoint& slot, SlotEvent event, Outbox& out);
 
+  void refresh(SlotEndpoint& slot, Outbox& out);
+  [[nodiscard]] bool converged(const SlotEndpoint& slot) const noexcept;
+
   void canonicalize(ByteWriter& w) const;
 };
 
@@ -113,6 +123,9 @@ class HoldSlotGoal {
   bool reselect(Codec codec, SlotEndpoint& slot, Outbox& out);
 
   [[nodiscard]] const MediaIntent& intent() const noexcept { return intent_; }
+
+  void refresh(SlotEndpoint& slot, Outbox& out);
+  [[nodiscard]] bool converged(const SlotEndpoint& slot) const noexcept;
 
   void canonicalize(ByteWriter& w) const;
 

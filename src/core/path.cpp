@@ -24,6 +24,15 @@ std::string PathAction::toString() const {
       oss << "chaos(p" << party << ",s" << int(chaosSlot) << ','
           << cmc::toString(chaosSignal) << ",v" << int(chaosVariant) << ')';
       break;
+    case Kind::dropHead:
+      oss << "drop(ch" << channel << "->" << towards << ')';
+      break;
+    case Kind::dupHead:
+      oss << "dup(ch" << channel << "->" << towards << ')';
+      break;
+    case Kind::refresh:
+      oss << "refresh()";
+      break;
   }
   return oss.str();
 }
@@ -132,8 +141,22 @@ std::vector<PathAction> PathSystem::enabledActions() const {
         a.channel = ch;
         a.towards = towards;
         actions.push_back(a);
+        if (fault_budget_ > 0) {
+          a.kind = PathAction::Kind::dropHead;
+          actions.push_back(a);
+          a.kind = PathAction::Kind::dupHead;
+          actions.push_back(a);
+        }
       }
     }
+  }
+  // The global stabilization action: only from quiescent, fully-attached
+  // states, and only when it would actually send something — an enabled
+  // no-op would be a self-loop the liveness checks could spin on forever.
+  if (stabilize_ && allAttached() && quiescent() && refreshWouldEmit()) {
+    PathAction a;
+    a.kind = PathAction::Kind::refresh;
+    actions.push_back(a);
   }
   for (std::uint32_t party = 0; party < partyCount(); ++party) {
     if (!partyAttached(party)) {
@@ -204,6 +227,19 @@ void PathSystem::apply(const PathAction& action) {
     case PathAction::Kind::chaos:
       applyChaos(action);
       break;
+    case PathAction::Kind::dropHead:
+      if (fault_budget_ == 0) throw std::logic_error("fault budget exhausted");
+      --fault_budget_;
+      channels_[action.channel].dropHead(action.towards);
+      break;
+    case PathAction::Kind::dupHead:
+      if (fault_budget_ == 0) throw std::logic_error("fault budget exhausted");
+      --fault_budget_;
+      channels_[action.channel].duplicateHead(action.towards);
+      break;
+    case PathAction::Kind::refresh:
+      stabilize();
+      break;
   }
 }
 
@@ -249,6 +285,54 @@ void PathSystem::replaceGoal(PathEnd end, EndpointGoal goal) {
 
 void PathSystem::setChaosBudget(std::uint32_t steps) {
   chaos_budget_.assign(partyCount(), steps);
+}
+
+void PathSystem::enableStabilization(bool on) {
+  stabilize_ = on;
+  ends_[0].slot.setStabilizing(on);
+  ends_[1].slot.setStabilizing(on);
+  for (LinkBox& box : links_) {
+    box.left.setStabilizing(on);
+    box.right.setStabilizing(on);
+  }
+}
+
+bool PathSystem::allAttached() const noexcept {
+  for (std::uint32_t p = 0; p < partyCount(); ++p) {
+    if (!partyAttached(p)) return false;
+  }
+  return true;
+}
+
+bool PathSystem::refreshWouldEmit() const {
+  // Dry-run on a copy: cheap because the gate only fires in quiescent
+  // states, and exact — gating on converged() alone could still enable a
+  // refresh that sends nothing (e.g. a closing-mode link already drained).
+  PathSystem probe = *this;
+  return probe.stabilize();
+}
+
+bool PathSystem::stabilize() {
+  if (!stabilize_) return false;
+  bool emitted = false;
+  for (std::uint32_t p = 0; p < partyCount(); ++p) {
+    if (!partyAttached(p)) continue;
+    Outbox out;
+    if (isEndpointParty(p)) {
+      End& e = ends_[idx(endOfParty(p))];
+      if (!converged(e.goal, e.slot)) refresh(e.goal, e.slot, out);
+      if (!out.empty()) emitted = true;
+      flush(p == 0 ? "L" : "R", std::move(out));
+    } else {
+      LinkBox& box = links_[p - 1];
+      if (!box.link.converged(box.left, box.right)) {
+        box.link.stabilize(box.left, box.right, out);
+      }
+      if (!out.empty()) emitted = true;
+      flush("F", std::move(out));
+    }
+  }
+  return emitted;
 }
 
 void PathSystem::attachParty(std::uint32_t party) {
@@ -472,6 +556,8 @@ void PathSystem::canonicalize(ByteWriter& w) const {
   for (std::uint32_t b : chaos_budget_) w.u32(b);
   w.u32(modify_budget_[0]);
   w.u32(modify_budget_[1]);
+  w.u32(fault_budget_);
+  w.boolean(stabilize_);
 }
 
 std::uint64_t PathSystem::fingerprint() const {

@@ -55,6 +55,9 @@ struct PathAction {
     modifyMute,  // user modify at endpoint `party`: set flags to (muteIn, muteOut)
     attach,      // attach party `party`'s goal (ends its chaotic phase)
     chaos,       // unattached party performs an arbitrary legal send
+    dropHead,    // fault: lose channels[channel]'s head-of-queue toward `towards`
+    dupHead,     // fault: duplicate that head-of-queue message in place
+    refresh,     // stabilization: every party re-asserts its unconverged goals
   };
 
   Kind kind = Kind::deliver;
@@ -153,6 +156,23 @@ class PathSystem {
     modify_budget_ = {steps, steps};
   }
 
+  // --- Fault injection + stabilization (docs/FAULTS.md) -------------------
+  // Budget bounding adversarial message faults (dropHead/dupHead actions).
+  void setFaultBudget(std::uint32_t steps) noexcept { fault_budget_ = steps; }
+  [[nodiscard]] std::uint32_t faultBudget() const noexcept { return fault_budget_; }
+  // Mark every slot stabilizing and enable the global refresh action. The
+  // refresh is one action for the whole path (every party re-asserts at
+  // once) and is enabled only in quiescent all-attached states where it
+  // would actually emit something: per-party refresh actions would hand the
+  // adversarial scheduler spurious no-op self-loops that read as livelocks
+  // to the temporal checks.
+  void enableStabilization(bool on);
+  [[nodiscard]] bool stabilizationEnabled() const noexcept { return stabilize_; }
+  // Run one global refresh sweep now; returns true if anything was sent.
+  // Tests use this directly as the self-stabilization oracle: alternate
+  // stabilize()/run() until it returns false, then check the §V predicate.
+  bool stabilize();
+
   void canonicalize(ByteWriter& w) const;
   [[nodiscard]] std::uint64_t fingerprint() const;
 
@@ -192,6 +212,8 @@ class PathSystem {
   }
 
   void attachParty(std::uint32_t party);
+  [[nodiscard]] bool allAttached() const noexcept;
+  [[nodiscard]] bool refreshWouldEmit() const;
   void applyChaos(const PathAction& action);
   void appendChaosActions(std::uint32_t party, std::vector<PathAction>& actions) const;
   void appendChaosSendsFor(const SlotEndpoint& slot, std::uint32_t party,
@@ -225,6 +247,8 @@ class PathSystem {
   IdAllocator<SlotId> slot_ids_;
   std::vector<std::uint32_t> chaos_budget_;  // per party
   std::array<std::uint32_t, 2> modify_budget_{0, 0};
+  std::uint32_t fault_budget_ = 0;
+  bool stabilize_ = false;
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
   std::size_t delivered_ = 0;

@@ -166,6 +166,15 @@ class UserDeviceBox : public Box {
     syncMedia();
   }
 
+  void onCrashRestart() override {
+    // Volatile call-session state died with the box; the re-attached goals
+    // (Box::crashRestart) rebuild the call, and syncMedia falls back to
+    // silence until a slot flows again.
+    ringing_ = ChannelId{};
+    syncMedia();
+    notify("restarted");
+  }
+
  private:
   void bindHold(ChannelId channel) {
     for (SlotId s : slotsOf(channel)) {

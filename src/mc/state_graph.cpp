@@ -144,8 +144,15 @@ ExploreResult explorePath(GoalKind left, GoalKind right, std::size_t flowlinks,
                      limits.defer_attach);
   initial.setChaosBudget(limits.defer_attach ? limits.chaos_budget : 0);
   initial.setModifyBudget(limits.modify_budget);
-  if (!limits.defer_attach) {
-    // Goals already attached in the constructor.
+  if (limits.fault_budget > 0) {
+    // Faulty exploration (docs/FAULTS.md): the adversary may drop or
+    // duplicate up to fault_budget in-flight messages, and the parties run
+    // in stabilization mode so the global refresh action can repair the
+    // damage. Budgets live in the canonical state, so every cycle of the
+    // resulting graph is fault-free: liveness verdicts read as "after
+    // injection ceases, the path self-stabilizes to its Section V spec".
+    initial.setFaultBudget(limits.fault_budget);
+    initial.enableStabilization(true);
   }
   return explore(initial, limits);
 }

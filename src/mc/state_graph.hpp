@@ -70,6 +70,11 @@ struct ExploreLimits {
   std::size_t max_states = 2'000'000;
   std::uint32_t chaos_budget = 2;
   std::uint32_t modify_budget = 1;
+  // Adversarial message-fault budget (drop/duplicate of in-flight signals;
+  // docs/FAULTS.md). Non-zero also switches the parties into stabilization
+  // mode and relaxes safety to terminal states only (a quiescent state with
+  // an in-flight fault being repaired is a legitimate transient).
+  std::uint32_t fault_budget = 0;
   bool defer_attach = true;  // chaotic initial phase before goals engage
   // Worker threads for frontier expansion. threads == 1 runs the
   // deterministic sequential path: state indices, parents, and traces are

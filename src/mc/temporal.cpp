@@ -148,4 +148,17 @@ std::optional<TemporalViolation> checkSafety(const ExploreResult& graph) {
   return std::nullopt;
 }
 
+std::optional<TemporalViolation> checkSafetyTerminal(const ExploreResult& graph) {
+  for (std::uint32_t s = 0; s < graph.states(); ++s) {
+    const StateBits& bits = graph.bits[s];
+    if (!bits.expanded || !bits.terminal) continue;
+    if (!bits.slotsStable) {
+      return TemporalViolation{
+          s, "terminal state with a slot neither closed nor flowing "
+             "(stabilization failed to repair an injected fault)"};
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace cmc

@@ -53,4 +53,13 @@ struct TemporalViolation {
 [[nodiscard]] std::optional<TemporalViolation> checkSafety(
     const ExploreResult& graph);
 
+// Safety under fault injection (docs/FAULTS.md): only *terminal* states
+// must have all slots closed or flowing. A merely quiescent state may hold
+// a slot in opening/closing whose answer was dropped — a legitimate
+// transient that the (still-enabled) refresh action repairs, so the strict
+// quiescent-state check would flag the fault itself rather than a protocol
+// bug.
+[[nodiscard]] std::optional<TemporalViolation> checkSafetyTerminal(
+    const ExploreResult& graph);
+
 }  // namespace cmc

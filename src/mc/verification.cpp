@@ -81,7 +81,11 @@ VerificationOutcome verifyPath(const VerificationCase& config,
   outcome.stats = graph.stats;
   outcome.truncated = graph.truncated;
 
-  if (auto violation = checkSafety(graph)) {
+  // Under fault injection quiescent-but-unstable transients are expected
+  // while a repair is pending; only terminal states must be stable.
+  const auto safety = limits.fault_budget > 0 ? checkSafetyTerminal(graph)
+                                              : checkSafety(graph);
+  if (auto violation = safety) {
     outcome.safety_ok = false;
     std::ostringstream oss;
     oss << "safety: " << violation->description << " at state "

@@ -2,8 +2,17 @@
 //
 // A signaling channel between physical components is typically TCP (paper
 // Section III-A): two-way, FIFO, reliable. TCP gives a byte stream, so
-// messages are delimited with a 4-byte little-endian length prefix followed
-// by the ChannelMessage serialization from src/channel.
+// messages are delimited with an 8-byte header — a 4-byte little-endian
+// body length and a 4-byte FNV-1a checksum of the body — followed by the
+// ChannelMessage serialization from src/channel.
+//
+// The checksum guards the signaling plane against payload corruption
+// (faulty middlebox, bit rot in a relaying component): a frame whose body
+// fails the check is discarded as if the network had lost it — the
+// protocol already self-stabilizes under loss (docs/FAULTS.md) — rather
+// than poisoning the whole connection. Only a header that has plainly lost
+// sync (absurd length) or a checksum-valid body that still fails to parse
+// (a framing bug, not line noise) kills the stream.
 #pragma once
 
 #include <cstdint>
@@ -12,18 +21,25 @@
 #include <vector>
 
 #include "channel/channel.hpp"
+#include "util/bytes.hpp"
 
 namespace cmc::net {
 
-// Encode one message as a frame.
+[[nodiscard]] inline std::uint32_t frameChecksum(const std::uint8_t* data,
+                                                 std::size_t size) {
+  return static_cast<std::uint32_t>(fnv1a(data, size));
+}
+
+// Encode one message as a frame: [length u32][checksum u32][body].
 [[nodiscard]] inline std::vector<std::uint8_t> encodeFrame(
     const ChannelMessage& message) {
   ByteWriter body;
   serialize(message, body);
-  ByteWriter frame;
-  frame.u32(static_cast<std::uint32_t>(body.size()));
-  std::vector<std::uint8_t> out = frame.take();
   const auto& b = body.bytes();
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(b.size()));
+  frame.u32(frameChecksum(b.data(), b.size()));
+  std::vector<std::uint8_t> out = frame.take();
   out.insert(out.end(), b.begin(), b.end());
   return out;
 }
@@ -39,36 +55,64 @@ class FrameDecoder {
   }
 
   // Returns the next complete message, or nullopt if more bytes are needed.
-  // A malformed frame poisons the decoder (error() becomes true): the
-  // stream has lost sync and the connection should be dropped.
+  // A frame failing its checksum is silently skipped (corruptFrames()
+  // counts it) — equivalent to network loss. A malformed frame that passes
+  // the checksum, or a hostile length, poisons the decoder (error()
+  // becomes true): the stream has lost sync and the connection should be
+  // dropped.
   [[nodiscard]] std::optional<ChannelMessage> next() {
-    if (error_ || buffer_.size() < 4) return std::nullopt;
-    std::uint32_t length = 0;
-    for (int i = 0; i < 4; ++i) {
-      length |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
-                << (8 * i);
+    while (!error_ && buffer_.size() >= kHeaderSize) {
+      const std::uint32_t length = readU32(0);
+      const std::uint32_t checksum = readU32(4);
+      if (length > kMaxFrame) {
+        error_ = true;
+        return std::nullopt;
+      }
+      if (buffer_.size() < kHeaderSize + static_cast<std::size_t>(length)) {
+        return std::nullopt;
+      }
+      const std::uint8_t* body = buffer_.data() + kHeaderSize;
+      if (frameChecksum(body, length) != checksum) {
+        // Corrupted in transit: discard and let the protocol's
+        // stabilization machinery treat it as a lost signal.
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + kHeaderSize + length);
+        ++corrupt_frames_;
+        continue;
+      }
+      ByteReader reader(body, length);
+      auto message = deserializeChannelMessage(reader);
+      buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderSize + length);
+      if (!message) {
+        error_ = true;
+        return std::nullopt;
+      }
+      return message;
     }
-    if (length > kMaxFrame) {
-      error_ = true;
-      return std::nullopt;
-    }
-    if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return std::nullopt;
-    ByteReader reader(buffer_.data() + 4, length);
-    auto message = deserializeChannelMessage(reader);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
-    if (!message) {
-      error_ = true;
-      return std::nullopt;
-    }
-    return message;
+    return std::nullopt;
   }
 
   [[nodiscard]] bool error() const noexcept { return error_; }
   [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+  // Frames discarded for checksum mismatch.
+  [[nodiscard]] std::uint64_t corruptFrames() const noexcept {
+    return corrupt_frames_;
+  }
 
  private:
+  static constexpr std::size_t kHeaderSize = 8;
+
+  [[nodiscard]] std::uint32_t readU32(std::size_t offset) const noexcept {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(buffer_[offset + i]) << (8 * i);
+    }
+    return value;
+  }
+
   std::vector<std::uint8_t> buffer_;
   bool error_ = false;
+  std::uint64_t corrupt_frames_ = 0;
 };
 
 }  // namespace cmc::net

@@ -32,7 +32,19 @@ void TcpSignalingPeer::start(MessageHandler on_message, ClosedHandler on_closed)
 
 bool TcpSignalingPeer::send(const ChannelMessage& message) {
   if (!open_.load()) return false;
-  const std::vector<std::uint8_t> frame = encodeFrame(message);
+  if (drop_next_.exchange(false)) {
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("net.frames_dropped").add();
+    }
+    return true;  // the frame was "sent" — and lost below us
+  }
+  std::vector<std::uint8_t> frame = encodeFrame(message);
+  if (corrupt_next_.exchange(false) && frame.size() > 8) {
+    frame.back() ^= 0x5a;  // body byte: header checksum now rejects it
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("net.frames_corrupted").add();
+    }
+  }
   std::lock_guard<std::mutex> lock(send_mutex_);
   std::size_t sent = 0;
   while (sent < frame.size()) {
@@ -61,6 +73,7 @@ void TcpSignalingPeer::close() {
 
 void TcpSignalingPeer::readLoop() {
   FrameDecoder decoder;
+  std::uint64_t corrupt_seen = 0;
   std::uint8_t chunk[4096];
   while (open_.load()) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -71,6 +84,13 @@ void TcpSignalingPeer::readLoop() {
     while (auto message = decoder.next()) {
       if (m != nullptr) m->counter("net.frames_received").add();
       if (on_message_) on_message_(*message);
+    }
+    if (decoder.corruptFrames() > corrupt_seen) {
+      if (m != nullptr) {
+        m->counter("net.frames_rejected_checksum")
+            .add(decoder.corruptFrames() - corrupt_seen);
+      }
+      corrupt_seen = decoder.corruptFrames();
     }
     if (decoder.error()) {
       log::warn("net", "malformed frame; dropping connection");

@@ -44,6 +44,14 @@ class TcpSignalingPeer {
   void close();
   [[nodiscard]] bool isOpen() const noexcept { return open_.load(); }
 
+  // ------------------------------------------------- fault-injection hooks
+  // Swallow the next send entirely (the frame never reaches the wire),
+  // modeling loss below TCP — e.g. a dying relay. Test-only.
+  void dropNextFrame() { drop_next_.store(true); }
+  // Flip a byte in the next frame's body before sending; the peer's
+  // checksum rejects it and counts it as corrupt. Test-only.
+  void corruptNextFrame() { corrupt_next_.store(true); }
+
   // Connect to a listening peer. Returns nullptr on failure.
   [[nodiscard]] static std::unique_ptr<TcpSignalingPeer> connect(
       const std::string& host, std::uint16_t port);
@@ -53,6 +61,8 @@ class TcpSignalingPeer {
 
   int fd_;
   std::atomic<bool> open_{true};
+  std::atomic<bool> drop_next_{false};
+  std::atomic<bool> corrupt_next_{false};
   std::mutex send_mutex_;
   MessageHandler on_message_;
   ClosedHandler on_closed_;

@@ -81,6 +81,38 @@ Signal SlotEndpoint::sendClose() {
   return CloseSignal{};
 }
 
+Signal SlotEndpoint::resendOpen(Descriptor descriptor) {
+  if (!stabilizing_ || state_ != ProtocolState::opening) {
+    illegalSend("re-open", state_, id_);
+  }
+  last_descriptor_sent_ = descriptor.id;
+  return OpenSignal{medium_.value_or(Medium::audio), std::move(descriptor)};
+}
+
+Signal SlotEndpoint::resendOack(Descriptor descriptor) {
+  if (!stabilizing_ || state_ != ProtocolState::flowing) {
+    illegalSend("re-oack", state_, id_);
+  }
+  last_descriptor_sent_ = descriptor.id;
+  return OackSignal{std::move(descriptor)};
+}
+
+Signal SlotEndpoint::resendClose() {
+  if (!stabilizing_ || state_ != ProtocolState::closing) {
+    illegalSend("re-close", state_, id_);
+  }
+  return CloseSignal{};
+}
+
+Signal SlotEndpoint::probeClose() {
+  if (!stabilizing_ || state_ != ProtocolState::closed) {
+    illegalSend("close-probe", state_, id_);
+  }
+  state_ = ProtocolState::closing;
+  traceTransition(id_, ProtocolState::closed, state_);
+  return CloseSignal{};
+}
+
 Signal SlotEndpoint::sendDescribe(Descriptor descriptor) {
   if (state_ != ProtocolState::flowing) illegalSend("describe", state_, id_);
   last_descriptor_sent_ = descriptor.id;
@@ -121,6 +153,17 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
         countCacheRefresh();
         return {SlotEvent::becameAcceptor, std::nullopt};
       }
+      if (stabilizing_ && (state_ == ProtocolState::opened ||
+                           state_ == ProtocolState::flowing)) {
+        // Redundant open (duplicate, or a restarted peer re-opening). The
+        // open is idempotent: adopt the freshest descriptor and let the
+        // goal re-accept, which re-sends any oack/select the peer may have
+        // lost.
+        medium_ = open.medium;
+        remote_descriptor_ = open.descriptor;
+        countCacheRefresh();
+        return {SlotEvent::openReceived, std::nullopt};
+      }
       // open in opened/flowing/closing: obsolete or protocol misuse; drop.
       return {SlotEvent::ignored, std::nullopt};
     }
@@ -133,6 +176,14 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
         remote_descriptor_ = oack.descriptor;
         countCacheRefresh();
         return {SlotEvent::oackReceived, std::nullopt};
+      }
+      if (stabilizing_ && state_ == ProtocolState::flowing) {
+        // Duplicate oack, or the acceptor re-answering a re-sent open. The
+        // descriptor may be fresher than the cached one; treat it like a
+        // describe so the goal answers with a select the peer may lack.
+        remote_descriptor_ = oack.descriptor;
+        countCacheRefresh();
+        return {SlotEvent::descriptorReceived, std::nullopt};
       }
       // oack while closing (we gave up) or in any other state: obsolete.
       return {SlotEvent::ignored, std::nullopt};
@@ -172,6 +223,14 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
         countCacheRefresh();
         return {SlotEvent::descriptorReceived, std::nullopt};
       }
+      if (stabilizing_ && state_ == ProtocolState::closed) {
+        // The peer believes the channel is flowing while we are closed: we
+        // lost volatile state (crash/restart) or its closeack went missing.
+        // Force the peer down with a close so both ends re-converge.
+        state_ = ProtocolState::closing;
+        traceTransition(id_, ProtocolState::closed, state_);
+        return {SlotEvent::ignored, Signal{CloseSignal{}}};
+      }
       // describe racing with our close, or arriving before we answered an
       // open: in this protocol describes are only sent in flowing, so the
       // only legitimate case is racing a close; drop it.
@@ -183,6 +242,12 @@ DeliverResult SlotEndpoint::deliver(const Signal& signal) {
       if (state_ == ProtocolState::flowing) {
         last_selector_received_ = select.selector;
         return {SlotEvent::selectorReceived, std::nullopt};
+      }
+      if (stabilizing_ && state_ == ProtocolState::closed) {
+        // Same stale-flowing situation as describe-in-closed above.
+        state_ = ProtocolState::closing;
+        traceTransition(id_, ProtocolState::closed, state_);
+        return {SlotEvent::ignored, Signal{CloseSignal{}}};
       }
       return {SlotEvent::ignored, std::nullopt};
     }

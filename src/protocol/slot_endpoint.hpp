@@ -116,6 +116,25 @@ class SlotEndpoint {
   [[nodiscard]] Signal sendDescribe(Descriptor descriptor);
   [[nodiscard]] Signal sendSelect(Selector selector);
 
+  // --- Stabilization (docs/FAULTS.md). On lossy channels a sent signal may
+  // never arrive, so fault-tolerant runtimes re-assert in-flight requests.
+  // Resends do not change protocol state; they repeat the signal the state
+  // already implies. Only legal while stabilizing.
+  [[nodiscard]] Signal resendOpen(Descriptor descriptor);  // state: opening
+  [[nodiscard]] Signal resendOack(Descriptor descriptor);  // state: flowing
+  [[nodiscard]] Signal resendClose();                      // state: closing
+  // Close-probe from `closed`: a restarted box lost its slot state and must
+  // force the peer (which may still be flowing) back to closed so both ends
+  // re-converge. Transitions closed -> closing.
+  [[nodiscard]] Signal probeClose();
+
+  // Stabilizing endpoints additionally treat redundant open/oack signals as
+  // refresh opportunities and answer stale flowing-only traffic with close
+  // (see deliver()). Off by default: the baseline model-checker semantics
+  // must not change when no faults are configured.
+  void setStabilizing(bool on) noexcept { stabilizing_ = on; }
+  [[nodiscard]] bool stabilizing() const noexcept { return stabilizing_; }
+
   // --- Receiving. Tolerant of obsolete signals (the network may deliver
   // them after a state change); truly impossible signals also map to
   // SlotEvent::ignored rather than failing, because a FIFO reliable channel
@@ -136,6 +155,7 @@ class SlotEndpoint {
 
   SlotId id_;
   bool channel_initiator_ = false;
+  bool stabilizing_ = false;
   ProtocolState state_ = ProtocolState::closed;
   std::optional<Medium> medium_;
   std::optional<Descriptor> remote_descriptor_;

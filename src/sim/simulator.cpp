@@ -50,7 +50,9 @@ void Simulator::registerBox(std::unique_ptr<Box> box) {
   const std::string& name = box->name();
   if (boxes_.count(name) != 0) throw std::logic_error("duplicate box: " + name);
   busy_until_[name] = SimTime{};
+  if (fault_plan_ != nullptr) box->enableStabilization(true);
   boxes_.emplace(name, std::move(box));
+  if (fault_plan_ != nullptr) scheduleRefreshTick(name);
 }
 
 ChannelId Simulator::connect(const std::string& a, const std::string& b,
@@ -90,6 +92,90 @@ bool Simulator::run(SimDuration horizon) { return loop_.runUntilIdle(horizon); }
 
 void Simulator::runFor(SimDuration d) { loop_.runUntil(loop_.now() + d); }
 
+void Simulator::installFaultPlan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  if (plan == nullptr) return;
+  for (auto& [name, box] : boxes_) {
+    box->enableStabilization(true);
+    scheduleRefreshTick(name);
+  }
+  for (const CrashEvent& crash : plan->crashes()) {
+    loop_.scheduleAt(crash.at, [this, crash]() { crashBox(crash); });
+  }
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::mark;
+    ev.name = "fault_plan_installed";
+    ev.v0 = static_cast<std::int64_t>(plan->seed());
+    rec->record(std::move(ev));
+  }
+}
+
+bool Simulator::boxDown(const std::string& name) const noexcept {
+  auto it = down_until_.find(name);
+  return it != down_until_.end() && loop_.now() < it->second;
+}
+
+void Simulator::crashBox(const CrashEvent& crash) {
+  auto it = boxes_.find(crash.box);
+  if (it == boxes_.end()) return;
+  Box& target = *it->second;
+  const SimTime up_at = loop_.now() + crash.down_for;
+  down_until_[crash.box] = up_at;
+  if (fault_plan_ != nullptr) ++fault_plan_->counters().crashes;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("fault.crashes").add();
+  }
+  if (obs::TraceRecorder* rec = obs::recorder()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::mark;
+    ev.name = "crash";
+    ev.actor = crash.box;
+    ev.v0 = crash.down_for.count();
+    rec->record(std::move(ev));
+  }
+  loop_.scheduleAt(up_at, [this, &target, name = crash.box]() {
+    down_until_.erase(name);
+    if (obs::TraceRecorder* rec = obs::recorder()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::mark;
+      ev.name = "restart";
+      ev.actor = name;
+      rec->record(std::move(ev));
+    }
+    stimulate(target, [&target]() { target.crashRestart(); });
+    scheduleRefreshTick(name);
+  });
+}
+
+void Simulator::scheduleRefreshTick(const std::string& name) {
+  if (fault_plan_ == nullptr) return;
+  bool& armed = refresh_armed_[name];
+  if (armed) return;
+  armed = true;
+  loop_.schedule(fault_plan_->spec().refresh_interval,
+                 [this, name]() { refreshTick(name); });
+}
+
+void Simulator::refreshTick(const std::string& name) {
+  refresh_armed_[name] = false;
+  if (fault_plan_ == nullptr) return;
+  auto it = boxes_.find(name);
+  if (it == boxes_.end()) return;
+  if (boxDown(name)) return;  // the restart handler re-arms
+  Box& target = *it->second;
+  if (target.needsRefresh()) {
+    stimulate(target, [&target]() { target.refreshGoals(); });
+  }
+  // Keep ticking while faults may still hit this box; once injection is
+  // over, stimulus completions re-arm the tick whenever a box is left
+  // unconverged, so a converged path stops ticking and the loop can drain.
+  if (fault_plan_->activeAt(loop_.now() + fault_plan_->spec().refresh_interval) ||
+      target.needsRefresh()) {
+    scheduleRefreshTick(name);
+  }
+}
+
 void Simulator::stimulate(Box& box, std::function<void()> fn) {
   // Serialize on the box: processing starts when the box frees up and takes
   // c; outputs appear at completion.
@@ -111,6 +197,11 @@ void Simulator::stimulate(Box& box, std::function<void()> fn) {
       std::chrono::duration_cast<std::chrono::microseconds>(start.sinceStart())
           .count();
   loop_.scheduleAt(done, [this, &box, start_us, fn = std::move(fn)]() {
+    // A stimulus queued before a crash dies with the box's volatile state.
+    if (boxDown(box.name())) {
+      if (fault_plan_ != nullptr) ++fault_plan_->counters().dead_box_drops;
+      return;
+    }
     {
       // Value-type instrumentation inside (SlotEndpoint transitions,
       // flowlink updates) attributes events to this box via the scope.
@@ -120,6 +211,11 @@ void Simulator::stimulate(Box& box, std::function<void()> fn) {
     }
     if (obs::TraceRecorder* rec = obs::recorder()) {
       rec->recordSpan("stimulus", box.name(), start_us, nowUs() - start_us);
+    }
+    // Liveness under faults: any stimulus that leaves the box unconverged
+    // (a lost answer, a stale signal) re-arms its refresh tick.
+    if (fault_plan_ != nullptr && box.needsRefresh()) {
+      scheduleRefreshTick(box.name());
     }
     if (!probes_.empty()) probes_.check(nowUs());
   });
@@ -155,11 +251,40 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
       trace->record(std::move(ev));
     }
     const SimDuration latency = timing_.sampleNetwork(rng_);
-    loop_.schedule(latency, [this, to, channel = route.channel,
-                             tunnel = route.tunnel, from,
-                             signal = std::move(item.signal)]() mutable {
-      deliverTunnelSignal(to, channel, tunnel, from, std::move(signal));
-    });
+    FaultDecision fate;  // default: deliver one copy, on time
+    if (fault_plan_ != nullptr) {
+      fate = fault_plan_->decide(from, to, loop_.now());
+    }
+    if (obs::MetricsRegistry* m = obs::metrics();
+        m != nullptr && fault_plan_ != nullptr) {
+      if (fate.drop || fate.copies > 1 || fate.extra.count() > 0) {
+        m->counter("fault.injected").add();
+      }
+      if (fate.drop) m->counter("fault.dropped").add();
+      if (fate.copies > 1) m->counter("fault.duplicated").add();
+      if (fate.extra.count() > 0) m->counter("fault.delayed").add();
+    }
+    if (fate.drop) {
+      if (obs::TraceRecorder* trace = obs::recorder()) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::mark;
+        ev.name = "fault_drop";
+        ev.actor = from;
+        ev.aux = to;
+        ev.id = item.slot.value();
+        trace->record(std::move(ev));
+      }
+      continue;
+    }
+    for (std::uint32_t copy = 0; copy < fate.copies; ++copy) {
+      const SimDuration when = latency + fate.extra + fate.copy_spacing * copy;
+      Signal signal_copy = item.signal;
+      loop_.schedule(when, [this, to, channel = route.channel,
+                            tunnel = route.tunnel, from,
+                            signal = std::move(signal_copy)]() mutable {
+        deliverTunnelSignal(to, channel, tunnel, from, std::move(signal));
+      });
+    }
   }
 
   for (auto& [channel_id, meta] : out.meta) {
@@ -172,6 +297,12 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
                    [this, to, channel_id, meta = std::move(meta)]() {
                      auto cit = channels_.find(channel_id);
                      if (cit == channels_.end()) return;
+                     if (boxDown(to)) {
+                       if (fault_plan_ != nullptr) {
+                         ++fault_plan_->counters().dead_box_drops;
+                       }
+                       return;
+                     }
                      Box& target = box(to);
                      stimulate(target, [&target, channel_id, meta]() {
                        target.deliverMeta(channel_id, meta);
@@ -183,6 +314,9 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     loop_.schedule(timer.delay, [this, from, tag = std::move(timer.tag)]() {
       auto it = boxes_.find(from);
       if (it == boxes_.end()) return;
+      // Timers are volatile: a crash forgets them (crashRestart re-arms
+      // what its re-attached goals still need).
+      if (boxDown(from)) return;
       Box& target = *it->second;
       stimulate(target, [&target, tag]() { target.fireTimer(tag); });
     });
@@ -269,6 +403,15 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
   if ((to_a && !rec.aliveA) || (!to_a && !rec.aliveB)) return;
   const auto& slots = to_a ? rec.slotsA : rec.slotsB;
   if (tunnel >= slots.size()) return;
+  if (boxDown(to_box)) {
+    // The destination is crashed: the signal reaches a dead transport and
+    // is lost, exactly like a drop fault.
+    if (fault_plan_ != nullptr) ++fault_plan_->counters().dead_box_drops;
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->counter("fault.dead_box_drops").add();
+    }
+    return;
+  }
   const SlotId slot = slots[tunnel];
   Box& target = box(to_box);
   ++signals_delivered_;

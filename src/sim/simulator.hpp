@@ -25,6 +25,7 @@
 #include "media/network.hpp"
 #include "obs/probes.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/fault.hpp"
 #include "sim/timing.hpp"
 
 namespace cmc::obs {
@@ -105,6 +106,27 @@ class Simulator {
   // box stimulus, capturing the exact virtual time a path quiesced.
   [[nodiscard]] obs::ConvergenceProbes& probes() noexcept { return probes_; }
 
+  // ------------------------------------------------------- fault injection
+  // Install a fault plan (docs/FAULTS.md). Switches every registered box
+  // into stabilization mode, schedules the plan's crashes, and starts the
+  // per-box refresh tick that re-asserts unconverged goals. The plan must
+  // outlive the simulator (or be detached with installFaultPlan(nullptr)).
+  // Install after adding boxes and before running.
+  void installFaultPlan(FaultPlan* plan);
+  [[nodiscard]] FaultPlan* faultPlan() const noexcept { return fault_plan_; }
+
+  // True while `name` is crashed (between a CrashEvent and its restart).
+  [[nodiscard]] bool boxDown(const std::string& name) const noexcept;
+
+  // Arm a convergence probe in the shared "stabilization_time" bucket —
+  // the interval from now until `quiescent` first holds, i.e. how long the
+  // path took to self-stabilize.
+  void armStabilizationProbe(std::string name,
+                             obs::ConvergenceProbes::Predicate quiescent) {
+    probes_.arm(std::move(name), "stabilization_time", nowUs(),
+                std::move(quiescent));
+  }
+
   // Hook invoked on every tunnel-signal delivery (tracing/metrics).
   std::function<void(const std::string& from, const std::string& to,
                      const Signal&, SimTime)>
@@ -126,6 +148,14 @@ class Simulator {
   // Run `fn` as a stimulus on `box` now: serialize on the box (busy time),
   // charge c, then execute and drain outputs.
   void stimulate(Box& box, std::function<void()> fn);
+  // Execute a scheduled CrashEvent: mark the box down, drop its queued
+  // stimuli, and schedule the restart (Box::crashRestart) at the end of
+  // the outage.
+  void crashBox(const CrashEvent& crash);
+  // Arm (if not already armed) one refresh tick for `name`, firing
+  // refresh_interval from now.
+  void scheduleRefreshTick(const std::string& name);
+  void refreshTick(const std::string& name);
   void drain(Box& box);
   void processOutput(Box& box, Box::Output&& out);
   void deliverTunnelSignal(const std::string& to_box, ChannelId channel,
@@ -153,6 +183,9 @@ class Simulator {
   std::map<std::string, SimTime> busy_until_;
   std::uint64_t signals_delivered_ = 0;
   obs::ConvergenceProbes probes_;
+  FaultPlan* fault_plan_ = nullptr;  // not owned
+  std::map<std::string, SimTime> down_until_;  // crashed boxes
+  std::map<std::string, bool> refresh_armed_;  // tick pending per box
   // Globals this simulator installed, cleared on destruction so a stale
   // pointer never outlives the run that owns it.
   obs::TraceRecorder* attached_trace_ = nullptr;

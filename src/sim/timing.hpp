@@ -13,6 +13,8 @@
 // baseline costs 10n + 11c + d with glare (E[d] = 3 s) or 8n + 7c without.
 #pragma once
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -28,8 +30,12 @@ struct TimingModel {
   [[nodiscard]] SimDuration sampleNetwork(Rng& rng) const {
     if (network_jitter <= 0.0) return network;
     const double factor = 1.0 + rng.uniform(-network_jitter, network_jitter);
-    return SimDuration{static_cast<SimDuration::rep>(
-        static_cast<double>(network.count()) * factor)};
+    const auto scaled = static_cast<SimDuration::rep>(
+        static_cast<double>(network.count()) * factor);
+    // Jitter >= 1.0 can drive the factor to (or below) zero; a delivery
+    // must still take positive time or the event loop would reorder it
+    // before the send completes.
+    return SimDuration{std::max<SimDuration::rep>(scaled, 1)};
   }
 };
 

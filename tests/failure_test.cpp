@@ -104,6 +104,98 @@ TEST_F(FailureFixture, MuteStorm) {
   EXPECT_TRUE(b_.media().hears(a_.media().id()));
 }
 
+// ---------------------------------------------------- crash/restart faults
+// Box crashes lose all volatile slot state (FaultPlan + Box::crashRestart,
+// docs/FAULTS.md); configuration — channel wiring, goal annotations —
+// survives. These pin down that a restarted box rejoins the path cleanly:
+// no stuck slots, no phantom media from a peer still flowing into a box
+// that has forgotten the call.
+
+TEST_F(FailureFixture, CrashMidOpenRecovers) {
+  FaultPlan plan(1);  // no message faults; one crash
+  plan.addCrash(CrashEvent{"B", SimTime{} + 60_ms, 500_ms});
+  sim_.installFaultPlan(&plan);
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(15_s);
+  EXPECT_EQ(plan.counters().crashes, 1u);
+  EXPECT_TRUE(a_.inCall()) << "caller stuck after callee crashed mid-open";
+  EXPECT_TRUE(b_.inCall());
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+}
+
+// Relay with one flowlink joining its two statically configured channels.
+class RelayBox : public Box {
+ public:
+  using Box::Box;
+
+ protected:
+  void onChannelUp(ChannelId channel, const std::string&) override { note(channel); }
+  void onIncomingChannel(ChannelId channel, const std::string&) override {
+    note(channel);
+  }
+
+ private:
+  void note(ChannelId channel) {
+    channels_.push_back(channel);
+    if (channels_.size() == 2) {
+      linkSlots(slotsOf(channels_[0])[0], slotsOf(channels_[1])[0]);
+    }
+  }
+  std::vector<ChannelId> channels_;
+};
+
+TEST(CrashRestart, FlowlinkCrashWithHalfDescribedLinkRecovers) {
+  Simulator sim(TimingModel::paperDefaults(), 43);
+  auto& a = sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                                      MediaAddress::parse("10.8.2.1", 5000));
+  sim.addBox<RelayBox>("R");
+  auto& b = sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
+                                      MediaAddress::parse("10.8.2.2", 5000));
+  sim.connect("A", "R");
+  sim.connect("R", "B");
+
+  FaultPlan plan(2);
+  // ~170 ms in, the relay has B's descriptor but has not finished pushing
+  // it toward A: the flowlink dies half-described.
+  plan.addCrash(CrashEvent{"R", SimTime{} + 170_ms, 600_ms});
+  sim.installFaultPlan(&plan);
+
+  sim.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).callOnLine(); });
+  sim.runFor(20_s);
+  EXPECT_EQ(plan.counters().crashes, 1u);
+  EXPECT_TRUE(a.inCall()) << "left endpoint stuck after relay crash";
+  EXPECT_TRUE(b.inCall()) << "right endpoint stuck after relay crash";
+  EXPECT_TRUE(a.media().hears(b.media().id()));
+  EXPECT_TRUE(b.media().hears(a.media().id()));
+}
+
+TEST_F(FailureFixture, RestartRefreshesDescriptorCaches) {
+  sim_.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).placeCall("B"); });
+  sim_.runFor(2_s);
+  ASSERT_TRUE(a_.inCall());
+
+  // A crashes mid-call: its descriptor cache and slot state are gone, while
+  // B sits converged-flowing with no reason to ever signal first. The
+  // restart's close-probe forces B down; A's re-attached openSlot then
+  // rebuilds the call with freshly exchanged descriptors.
+  FaultPlan plan(3);
+  plan.addCrash(CrashEvent{"A", SimTime{} + 2500_ms, 1_s});
+  sim_.installFaultPlan(&plan);
+  sim_.runFor(20_s);
+
+  EXPECT_EQ(plan.counters().crashes, 1u);
+  EXPECT_TRUE(a_.inCall()) << "call not re-established after caller restart";
+  EXPECT_TRUE(b_.inCall());
+  // Fresh descriptors made it across both ways: media is two-way again,
+  // not phantom packets aimed at the pre-crash session.
+  a_.media().resetStats();
+  b_.media().resetStats();
+  sim_.runFor(1_s);
+  EXPECT_TRUE(a_.media().hears(b_.media().id()));
+  EXPECT_TRUE(b_.media().hears(a_.media().id()));
+}
+
 // ---------------------------------------------------------------- logging
 
 TEST(Logging, LevelsFilter) {

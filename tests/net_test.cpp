@@ -63,22 +63,59 @@ TEST(Framing, MultipleMessagesOneChunk) {
 
 TEST(Framing, OversizeFrameIsRejected) {
   FrameDecoder decoder;
-  std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
-  decoder.feed(huge, 4);
+  // Header: absurd length + arbitrary checksum.
+  std::uint8_t huge[8] = {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0};
+  decoder.feed(huge, 8);
   EXPECT_EQ(decoder.next(), std::nullopt);
   EXPECT_TRUE(decoder.error());
 }
 
 TEST(Framing, GarbagePayloadPoisonsDecoder) {
+  // A body that checksums correctly but does not parse is a framing bug,
+  // not line noise: the decoder must poison, not skip.
+  const std::uint8_t body[3] = {0xee, 0, 0};  // invalid message tag
   ByteWriter w;
   w.u32(3);
-  w.u8(0xee);  // invalid message tag
-  w.u8(0);
-  w.u8(0);
+  w.u32(frameChecksum(body, 3));
+  for (std::uint8_t b : body) w.u8(b);
   FrameDecoder decoder;
   decoder.feed(w.bytes().data(), w.bytes().size());
   EXPECT_EQ(decoder.next(), std::nullopt);
   EXPECT_TRUE(decoder.error());
+}
+
+TEST(Framing, ChecksumRejectsCorruptBodyAsLoss) {
+  // A frame corrupted in transit is discarded like a lost signal — the
+  // stream survives and the following frame still decodes.
+  ChannelMessage corrupted = TunnelSignal{1, OpenSignal{Medium::audio, desc(9)}};
+  ChannelMessage survivor = TunnelSignal{2, CloseSignal{}};
+  auto bad = encodeFrame(corrupted);
+  bad.back() ^= 0x5a;  // body byte flip; header checksum no longer matches
+  auto good = encodeFrame(survivor);
+
+  FrameDecoder decoder;
+  decoder.feed(bad.data(), bad.size());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_FALSE(decoder.error()) << "corruption must not poison the stream";
+  EXPECT_EQ(decoder.corruptFrames(), 1u);
+
+  decoder.feed(good.data(), good.size());
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, survivor);
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(Framing, ChecksumCatchesHeaderLengthCorruption) {
+  // Shrinking the advertised length misaligns the body: the checksum over
+  // the truncated body fails and the bogus frame is skipped.
+  ChannelMessage m = TunnelSignal{3, OpenSignal{Medium::audio, desc(5)}};
+  auto frame = encodeFrame(m);
+  frame[0] -= 1;  // length low byte: body now one short
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_EQ(decoder.corruptFrames(), 1u);
 }
 
 class LoopbackPair : public ::testing::Test {
@@ -132,6 +169,32 @@ TEST_F(LoopbackPair, BidirectionalTraffic) {
   ASSERT_TRUE(server_->send(from_server));
   EXPECT_EQ(to_server.get_future().get(), from_client);
   EXPECT_EQ(to_client.get_future().get(), from_server);
+}
+
+TEST_F(LoopbackPair, DropAndCorruptHooksLoseExactlyOneFrame) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::uint32_t> received;
+  server_->start([&](const ChannelMessage& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    received.push_back(std::get<TunnelSignal>(m).tunnel);
+    cv.notify_one();
+  });
+  client_->start([](const ChannelMessage&) {});
+
+  client_->dropNextFrame();
+  ASSERT_TRUE(client_->send(TunnelSignal{0, CloseSignal{}}));  // vanishes
+  client_->corruptNextFrame();
+  ASSERT_TRUE(client_->send(TunnelSignal{1, CloseSignal{}}));  // checksum-rejected
+  ASSERT_TRUE(client_->send(TunnelSignal{2, CloseSignal{}}));  // arrives
+
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&]() { return !received.empty(); }));
+  // Only the clean frame made it, and the connection survived both faults.
+  EXPECT_EQ(received, (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(client_->isOpen());
+  EXPECT_TRUE(server_->isOpen());
 }
 
 TEST_F(LoopbackPair, CloseNotifiesPeer) {

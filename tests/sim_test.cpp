@@ -99,6 +99,25 @@ TEST(TimingModelTest, JitterBounded) {
   }
 }
 
+TEST(TimingModelTest, FullJitterNeverSamplesNonPositiveDelay) {
+  // Regression: at network_jitter = 1.0 the factor can reach 0 (or round
+  // below it), producing a zero-length delivery that the event loop would
+  // run in the same instant as the send. The sample must clamp to >= 1 µs.
+  TimingModel t;
+  t.network_jitter = 1.0;
+  Rng rng{11};
+  SimDuration smallest = t.network;
+  for (int i = 0; i < 20000; ++i) {
+    const auto n = t.sampleNetwork(rng);
+    EXPECT_GT(n.count(), 0) << "sampled a non-positive network delay";
+    EXPECT_LE(n, 2 * t.network);
+    smallest = std::min(smallest, n);
+  }
+  // The distribution genuinely reaches the clamp region (sub-millisecond),
+  // so the assertion above is not vacuous.
+  EXPECT_LT(smallest, 1_ms);
+}
+
 // ------------------------------------------------------------- simulator
 
 class TwoPhones : public ::testing::Test {
