@@ -20,7 +20,9 @@
 
 #include "bench_util.hpp"
 #include "endpoints/user_device.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -29,10 +31,17 @@ using namespace cmc;
 using namespace cmc::literals;
 
 // Measured latency (ms) from linking the box adjacent to A until B is ready
-// to transmit toward A, for a chain of `k` boxes.
-double measure(std::size_t k, TimingModel timing, obs::MetricsRegistry* reg) {
+// to transmit toward A, for a chain of `k` boxes. `hops_ok` reports the
+// hop-by-hop check: the causal critical path from the link injection to B
+// must be exactly k+1 stimulus spans, each charged c of processing and (for
+// every hop after the root) n of tunnel transit — the latency law read off
+// the trace instead of the probe.
+double measure(std::size_t k, TimingModel timing, obs::MetricsRegistry* reg,
+               bool& hops_ok) {
   Simulator sim(timing, 3);
   if (reg != nullptr) sim.attachMetrics(reg);
+  obs::TraceRecorder rec;
+  sim.attachTrace(&rec);
   sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
                             MediaAddress::parse("10.9.0.1", 5000));
   auto& b = sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
@@ -72,11 +81,15 @@ double measure(std::size_t k, TimingModel timing, obs::MetricsRegistry* reg) {
 
   // The last flowlink initializes: P1 links its two (flowing) slots. Arm the
   // quiescence probe at the same instant: B sends real (non-muted) media
-  // toward A.
+  // toward A. Retain only the measured cascade in the trace window and turn
+  // causal propagation on so the critical path can be extracted afterwards.
+  rec.clear();
+  rec.setPropagation(true);
   const MediaAddress a_addr =
       static_cast<UserDeviceBox&>(sim.box("A")).media().address();
   const std::string probe = "path_p" + std::to_string(k);
-  sim.probes().arm(probe, probe, sim.nowUs(), [&b, a_addr]() {
+  const std::int64_t armed_at = sim.nowUs();
+  sim.probes().arm(probe, probe, armed_at, [&b, a_addr]() {
     const auto& st = b.media().sendingState();
     return st && st->target == a_addr && !isNoMedia(st->codec);
   });
@@ -89,6 +102,25 @@ double measure(std::size_t k, TimingModel timing, obs::MetricsRegistry* reg) {
   const auto latency = sim.probes().latencyUs(probe);
   if (!latency) return -1;
   bench::jsonLine("CONVERGENCE", sim.probes().json());
+
+  obs::CriticalPathOptions opts;
+  opts.end_actor = "B";
+  opts.end_at_us = armed_at + *latency;
+  const obs::CriticalPathReport path = obs::criticalPath(rec.snapshot(), opts);
+  bench::jsonLine("CRITICAL_PATH", path.json());
+  const std::int64_t proc_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(timing.processing)
+          .count();
+  const std::int64_t transit_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(timing.network)
+          .count();
+  hops_ok = path.complete && path.hops.size() == k + 1;
+  for (std::size_t i = 0; hops_ok && i < path.hops.size(); ++i) {
+    hops_ok = path.hops[i].proc_us == proc_us &&
+              path.hops[i].transit_us == (i == 0 ? 0 : transit_us) &&
+              path.hops[i].queue_us == 0;
+  }
+  hops_ok = hops_ok && path.total_us == *latency;
   return static_cast<double>(*latency) / 1000.0;
 }
 
@@ -106,16 +138,23 @@ int main() {
   std::printf("  %-8s %-26s %-14s\n", "hops p", "paper p*n+(p+1)*c (ms)",
               "measured (ms)");
   bool ok = true;
+  bool all_hops_ok = true;
   for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
     const double paper = static_cast<double>(k) * n + (k + 1) * c;
-    const double measured = measure(k, TimingModel::paperDefaults(), &registry);
+    bool hops_ok = false;
+    const double measured =
+        measure(k, TimingModel::paperDefaults(), &registry, hops_ok);
     std::printf("  %-8zu %-26.1f %-14.1f\n", k, paper, measured);
     ok = ok && measured > 0 && measured > 0.7 * paper && measured < 1.6 * paper;
+    all_hops_ok = all_hops_ok && hops_ok;
   }
   bench::note(
       "hop count p counts signaling hops from the last flowlink (adjacent "
       "to A) to the farther endpoint B");
   bench::jsonLine("OBS_METRICS", registry.json());
   bench::verdict(ok, "latency grows linearly as p*n + (p+1)*c");
-  return ok ? 0 : 1;
+  bench::verdict(all_hops_ok,
+                 "causal critical path attributes every hop exactly: "
+                 "transit n, processing c, zero queueing");
+  return ok && all_hops_ok ? 0 : 1;
 }

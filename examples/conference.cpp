@@ -45,6 +45,9 @@ void matrix(Simulator& sim, UserDeviceBox* devices[3], const char* names[3]) {
 int main() {
   Simulator sim(TimingModel::paperDefaults(), 21);
   obs::TraceRecorder trace;
+  // Causal propagation links every stimulus span to the send that caused it
+  // and draws Perfetto flow arrows across boxes in the exported trace.
+  trace.setPropagation(true);
   obs::MetricsRegistry metrics;
   sim.attachTrace(&trace);
   sim.attachMetrics(&metrics);

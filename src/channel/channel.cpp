@@ -6,21 +6,43 @@ std::ostream& operator<<(std::ostream& os, Side side) {
   return os << (side == Side::A ? 'A' : 'B');
 }
 
+// Wire tags: 0/1 are the context-free encodings (tunnel/meta), unchanged
+// since the first framing so canonical fingerprints and propagation-off
+// wire bytes stay byte-identical. 2/3 are the same bodies prefixed with a
+// 16-byte TraceContext (trace id, parent span id); they appear on the wire
+// only when a sender actually stamped a context.
 void serialize(const ChannelMessage& m, ByteWriter& w) {
   if (const auto* ts = std::get_if<TunnelSignal>(&m)) {
-    w.u8(0);
+    if (ts->ctx.empty()) {
+      w.u8(0);
+    } else {
+      w.u8(2);
+      w.u64(ts->ctx.trace);
+      w.u64(ts->ctx.span);
+    }
     w.u32(ts->tunnel);
     serialize(ts->signal, w);
   } else {
-    w.u8(1);
-    std::get<MetaSignal>(m).serialize(w);
+    const auto& meta = std::get<MetaSignal>(m);
+    if (meta.ctx.empty()) {
+      w.u8(1);
+    } else {
+      w.u8(3);
+      w.u64(meta.ctx.trace);
+      w.u64(meta.ctx.span);
+    }
+    meta.serialize(w);
   }
 }
 
 std::optional<ChannelMessage> deserializeChannelMessage(ByteReader& r) {
   const std::uint8_t tag = r.u8();
-  if (tag == 0) {
+  if (tag == 0 || tag == 2) {
     TunnelSignal ts;
+    if (tag == 2) {
+      ts.ctx.trace = r.u64();
+      ts.ctx.span = r.u64();
+    }
     ts.tunnel = r.u32();
     auto sig = deserializeSignal(r);
     if (!sig) return std::nullopt;
@@ -28,8 +50,14 @@ std::optional<ChannelMessage> deserializeChannelMessage(ByteReader& r) {
     if (!r.ok()) return std::nullopt;
     return ChannelMessage{std::move(ts)};
   }
-  if (tag == 1) {
+  if (tag == 1 || tag == 3) {
+    obs::TraceContext ctx;
+    if (tag == 3) {
+      ctx.trace = r.u64();
+      ctx.span = r.u64();
+    }
     MetaSignal m = MetaSignal::deserialize(r);
+    m.ctx = ctx;
     if (!r.ok()) return std::nullopt;
     return ChannelMessage{std::move(m)};
   }

@@ -18,6 +18,7 @@
 #include <variant>
 
 #include "channel/meta.hpp"
+#include "obs/context.hpp"
 #include "protocol/signal.hpp"
 #include "util/ids.hpp"
 
@@ -35,12 +36,19 @@ enum class Side : std::uint8_t { A = 0, B = 1 };
 std::ostream& operator<<(std::ostream& os, Side side);
 
 // A tunnel signal in flight: which tunnel of the channel, and the protocol
-// signal itself.
+// signal itself. The trace context is causal provenance (obs/context.hpp),
+// not protocol state: it is excluded from equality, and an empty context
+// serializes exactly as the context-free format, so model-checker
+// fingerprints and fault-free wire bytes are unchanged unless propagation
+// is actually on.
 struct TunnelSignal {
   std::uint32_t tunnel = 0;
   Signal signal;
+  obs::TraceContext ctx{};
 
-  friend bool operator==(const TunnelSignal&, const TunnelSignal&) = default;
+  friend bool operator==(const TunnelSignal& a, const TunnelSignal& b) {
+    return a.tunnel == b.tunnel && a.signal == b.signal;
+  }
 };
 
 using ChannelMessage = std::variant<TunnelSignal, MetaSignal>;

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/context.hpp"
 #include "util/bytes.hpp"
 
 namespace cmc {
@@ -31,8 +32,14 @@ struct MetaSignal {
   MetaKind kind = MetaKind::custom;
   std::string tag;      // application meta-signal name when kind == custom
   std::string payload;  // opaque application payload
+  // Causal provenance (obs/context.hpp); excluded from equality and from
+  // serialize() — the ChannelMessage framing carries it out of band of the
+  // meta body, and only when non-empty.
+  obs::TraceContext ctx{};
 
-  friend bool operator==(const MetaSignal&, const MetaSignal&) = default;
+  friend bool operator==(const MetaSignal& a, const MetaSignal& b) {
+    return a.kind == b.kind && a.tag == b.tag && a.payload == b.payload;
+  }
 
   void serialize(ByteWriter& w) const;
   [[nodiscard]] static MetaSignal deserialize(ByteReader& r);

@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <variant>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace cmc::net {
@@ -38,7 +40,20 @@ bool TcpSignalingPeer::send(const ChannelMessage& message) {
     }
     return true;  // the frame was "sent" — and lost below us
   }
-  std::vector<std::uint8_t> frame = encodeFrame(message);
+  std::vector<std::uint8_t> frame;
+  obs::TraceRecorder* rec = obs::recorder();
+  if (rec != nullptr && rec->propagationEnabled()) {
+    // Stamp the sender's causal context in-band (frame tag 2/3) unless the
+    // caller already attached one; the far end's runtime adopts it when it
+    // turns the decoded message into a stimulus.
+    ChannelMessage stamped = message;
+    obs::TraceContext& ctx = std::visit(
+        [](auto& m) -> obs::TraceContext& { return m.ctx; }, stamped);
+    if (ctx.empty()) ctx = obs::currentContext();
+    frame = encodeFrame(stamped);
+  } else {
+    frame = encodeFrame(message);
+  }
   if (corrupt_next_.exchange(false) && frame.size() > 8) {
     frame.back() ^= 0x5a;  // body byte: header checksum now rejects it
     if (obs::MetricsRegistry* m = obs::metrics()) {

@@ -1,0 +1,58 @@
+// Causal trace context: the in-band provenance a signal carries.
+//
+// A TraceContext is two 64-bit ids: the trace the causal chain belongs to
+// (one trace per root stimulus — a user action, a goal change, a refresh
+// tick) and the span that *caused* this signal (the sending box's stimulus
+// span). Both TunnelSignal and MetaSignal carry one; the simulator stamps
+// it at send and the receiving box's stimulus span adopts it as its
+// parent, so every FSM transition, goal action, flowlink forward, and
+// downstream send is linked parent->child across the whole signaling path.
+// Fault-injected duplicates and retransmits carry the same context, so
+// each delivery becomes a distinct span under one trace.
+//
+// The context is observability metadata, never protocol state: it is
+// excluded from message equality and from the model checker's canonical
+// fingerprints (an empty context serializes exactly as before it existed),
+// and the whole mechanism is off unless a TraceRecorder with propagation
+// enabled is installed.
+//
+// This header is dependency-free on purpose: src/channel embeds the struct
+// without linking cmc_obs. The thread-local accessors (currentContext /
+// ContextScope) are defined in trace.cpp and only used by hosts that
+// already link cmc_obs (simulator, net, benches).
+#pragma once
+
+#include <cstdint>
+
+namespace cmc::obs {
+
+struct TraceContext {
+  std::uint64_t trace = 0;  // causal chain id, stable across hops
+  std::uint64_t span = 0;   // id of the causing (parent) span
+
+  [[nodiscard]] bool empty() const noexcept { return trace == 0 && span == 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+// The context of the stimulus currently being processed on this thread
+// (empty outside any stimulus, or when propagation is off). Analogous to
+// currentActor() in trace.hpp.
+[[nodiscard]] TraceContext currentContext() noexcept;
+
+// Brackets one stimulus execution so that instrumentation inside (slot
+// transitions, goal events, sends in processOutput) is attributed to the
+// stimulus's span. Restores the previous context on destruction.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx) noexcept;
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace cmc::obs

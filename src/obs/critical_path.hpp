@@ -1,0 +1,75 @@
+// Critical-path analysis over a causally-linked trace (obs/context.hpp).
+//
+// With propagation enabled, every box stimulus is a span linked
+// parent->child along the signaling path. This module reconstructs the
+// causal DAG from a TraceRecorder buffer, extracts the longest
+// time-weighted chain from a root (a goal change, a user action) to
+// quiescence, and attributes every microsecond of it per hop:
+//
+//   proc_us     time the box spent processing the stimulus (the paper's c)
+//   transit_us  time the triggering signal spent on the tunnel (n)
+//   queue_us    time the signal waited for the box to free up (serial-
+//               server queueing; zero on an idle path)
+//
+// Summed over a path with p hops past the root this is exactly the
+// latency law of paper §VIII-C — p*n + (p+1)*c — which the analyzer lets
+// a bench confirm hop by hop instead of only in aggregate.
+//
+// The report is a pure function of the event window: identical runs give
+// identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace cmc::obs {
+
+struct CriticalPathHop {
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;      // 0 for the root hop
+  std::string box;               // actor the stimulus ran on
+  std::int64_t start_us = 0;     // processing start (span start)
+  std::int64_t proc_us = 0;      // span duration: box processing (c)
+  std::int64_t transit_us = 0;   // parent completion -> signal arrival (n)
+  std::int64_t queue_us = 0;     // signal arrival -> processing start
+};
+
+struct CriticalPathReport {
+  std::uint64_t trace = 0;
+  std::int64_t start_us = 0;      // root processing start
+  std::int64_t end_us = 0;        // final span completion (quiescence)
+  std::int64_t total_us = 0;      // end - start
+  std::int64_t proc_total_us = 0;
+  std::int64_t transit_total_us = 0;
+  std::int64_t queue_total_us = 0;
+  // False when the chain walks off the retained ring-buffer window (the
+  // root or an intermediate parent span was overwritten).
+  bool complete = true;
+  std::vector<CriticalPathHop> hops;  // root first
+
+  [[nodiscard]] bool empty() const noexcept { return hops.empty(); }
+  // Deterministic single-object JSON (schema in docs/OBSERVABILITY.md).
+  [[nodiscard]] std::string json() const;
+};
+
+struct CriticalPathOptions {
+  // Trace to analyze; 0 picks the trace of the latest-ending span.
+  std::uint64_t trace = 0;
+  // Quiescence instant: end the path at the last span completing at or
+  // before this time (e.g. a convergence probe's recorded instant).
+  // Negative means "the latest span of the trace".
+  std::int64_t end_at_us = -1;
+  // If non-empty, the terminal span must have run on this box.
+  std::string end_actor;
+};
+
+// Reconstruct the causal chain ending at the selected terminal span by
+// walking parent links back to the root. Returns an empty report when the
+// window holds no eligible spans (propagation off, or nothing recorded).
+[[nodiscard]] CriticalPathReport criticalPath(
+    const std::vector<TraceEvent>& events, const CriticalPathOptions& opts = {});
+
+}  // namespace cmc::obs

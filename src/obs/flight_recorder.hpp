@@ -1,0 +1,80 @@
+// Flight recorder: automatic post-mortems for failed runs.
+//
+// A FlightRecorder is pointed at the live observability artifacts — the
+// TraceRecorder's retained event window, the MetricsRegistry, the
+// ConvergenceProbes — and, when something goes wrong, dumps all of them
+// plus the extracted critical path into one JSON post-mortem file. The
+// triggers:
+//
+//   * a convergence probe blowing its deadline (ConvergenceProbes::check
+//     notifies the installed recorder on every timeout);
+//   * an explicit assertion (flightAssert / dump("reason")) from tests,
+//     benches, or fault-injection harnesses;
+//
+// so a failed stabilization run leaves behind exactly the causal window
+// needed to debug it. CI uploads the dump files as artifacts on failure.
+//
+// Like the rest of src/obs this is off by default: nothing dumps unless a
+// recorder is installed with setFlightRecorder(), and the trigger sites
+// cost one relaxed load. Dump filenames are deterministic
+// (<prefix>_<seq>_<reason>.json) so same-seed failures produce identical
+// artifacts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cmc::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+class ConvergenceProbes;
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::string directory = ".";   // where dump files land
+    std::string prefix = "flight"; // filename stem
+    std::size_t max_dumps = 16;    // stop writing after this many (a
+                                   // crash-looping run must not fill the disk)
+  };
+
+  FlightRecorder();
+  explicit FlightRecorder(Config config);
+
+  // Wire up the sources to snapshot; any may stay null (that section is
+  // omitted from the dump). Simulator::attachFlightRecorder does this.
+  void setTrace(TraceRecorder* trace) noexcept;
+  void setMetrics(MetricsRegistry* metrics) noexcept;
+  void setProbes(const ConvergenceProbes* probes) noexcept;
+
+  // Write one post-mortem: reason, retained trace window, metrics
+  // snapshot, probe state, and the critical path extracted from the
+  // window. Returns the file path, or "" if the dump was skipped
+  // (max_dumps reached) or the file could not be written.
+  std::string dump(std::string_view reason);
+
+  [[nodiscard]] std::uint64_t dumps() const noexcept;
+  [[nodiscard]] std::string lastPath() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Config config_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  const ConvergenceProbes* probes_ = nullptr;
+  std::uint64_t dumps_ = 0;
+  std::string last_path_;
+};
+
+// Process-wide recorder; nullptr (default) disables all triggers.
+[[nodiscard]] FlightRecorder* flightRecorder() noexcept;
+void setFlightRecorder(FlightRecorder* recorder) noexcept;
+
+// Check-and-dump helper for tests and harnesses: returns `ok`, and on
+// false dumps a post-mortem tagged `what` to the installed recorder.
+bool flightAssert(bool ok, std::string_view what);
+
+}  // namespace cmc::obs

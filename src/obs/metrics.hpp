@@ -50,7 +50,15 @@ class Gauge {
     }
   }
   void add(std::int64_t delta) noexcept {
-    set(value_.load(std::memory_order_relaxed) + delta);
+    // A load/set pair would lose concurrent deltas; fetch_add keeps the
+    // running value exact under contention, and the CAS loop raises the
+    // high-water mark to the value this call produced.
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
   }
   [[nodiscard]] std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);

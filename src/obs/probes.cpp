@@ -2,16 +2,19 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace cmc::obs {
 
 void ConvergenceProbes::arm(std::string name, std::string bucket,
-                            std::int64_t now_us, Predicate quiescent) {
+                            std::int64_t now_us, Predicate quiescent,
+                            std::int64_t deadline_us) {
   Armed probe;
   probe.name = std::move(name);
   probe.bucket = std::move(bucket);
   probe.start_us = now_us;
+  probe.deadline_us = deadline_us;
   probe.quiescent = std::move(quiescent);
   if (TraceRecorder* rec = recorder()) {
     rec->record(EventKind::mark, "probe_armed:" + probe.name, /*actor=*/{});
@@ -24,6 +27,23 @@ std::size_t ConvergenceProbes::check(std::int64_t now_us) {
   for (std::size_t i = 0; i < armed_.size();) {
     Armed& probe = armed_[i];
     if (!probe.quiescent || !probe.quiescent()) {
+      if (probe.deadline_us > 0 && now_us >= probe.deadline_us) {
+        // Watchdog expired: this is a failed convergence. Capture the
+        // post-mortem first — the retained trace window still holds the
+        // stalled causal chain — then surface the failure.
+        const std::string name = probe.name;
+        failed_.push_back(name);
+        if (TraceRecorder* rec = recorder()) {
+          rec->record(EventKind::mark, "probe_failed:" + name, /*actor=*/{},
+                      probe.bucket, /*id=*/0, /*v0=*/now_us - probe.start_us);
+        }
+        armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (FlightRecorder* fr = flightRecorder()) {
+          fr->dump("probe_timeout:" + name);
+        }
+        if (on_failure_) on_failure_(name, now_us);
+        continue;
+      }
       ++i;
       continue;
     }
@@ -80,6 +100,7 @@ void ConvergenceProbes::reset() {
   armed_.clear();
   histograms_.clear();
   results_.clear();
+  failed_.clear();
   converged_ = 0;
 }
 

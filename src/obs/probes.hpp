@@ -29,20 +29,36 @@ namespace cmc::obs {
 class ConvergenceProbes {
  public:
   using Predicate = std::function<bool()>;
+  using FailureHandler =
+      std::function<void(const std::string& name, std::int64_t now_us)>;
 
   // Arm a probe. `bucket` names the histogram the latency lands in (several
   // probes — e.g. runs with different seeds — may share one bucket);
-  // `name` identifies this single measurement.
+  // `name` identifies this single measurement. A positive `deadline_us`
+  // turns the probe into a watchdog: if it has not converged by that
+  // virtual instant, the next check() marks it failed, disarms it, and
+  // triggers the installed flight recorder (obs/flight_recorder.hpp).
   void arm(std::string name, std::string bucket, std::int64_t now_us,
-           Predicate quiescent);
+           Predicate quiescent, std::int64_t deadline_us = 0);
 
-  // Evaluate armed probes; satisfied ones record and disarm. Returns the
-  // number of probes that converged in this call.
+  // Evaluate armed probes; satisfied ones record and disarm, expired ones
+  // fail (post-mortem dump + onFailure). Returns the number of probes that
+  // converged in this call.
   std::size_t check(std::int64_t now_us);
+
+  // Called for every probe that blows its deadline, after the flight-
+  // recorder dump; hosts use it to abort or log.
+  void setOnFailure(FailureHandler handler) { on_failure_ = std::move(handler); }
 
   [[nodiscard]] bool empty() const noexcept { return armed_.empty(); }
   [[nodiscard]] std::size_t armedCount() const noexcept { return armed_.size(); }
   [[nodiscard]] std::size_t convergedCount() const noexcept { return converged_; }
+  [[nodiscard]] std::size_t failedCount() const noexcept {
+    return failed_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& failed() const noexcept {
+    return failed_;
+  }
 
   // Latency of a named measurement, once converged.
   [[nodiscard]] std::optional<std::int64_t> latencyUs(const std::string& name) const;
@@ -60,12 +76,15 @@ class ConvergenceProbes {
     std::string name;
     std::string bucket;
     std::int64_t start_us = 0;
+    std::int64_t deadline_us = 0;  // 0 = no watchdog
     Predicate quiescent;
   };
 
   std::vector<Armed> armed_;
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::int64_t> results_;
+  std::vector<std::string> failed_;
+  FailureHandler on_failure_;
   std::size_t converged_ = 0;
 };
 

@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<TraceRecorder*> g_recorder{nullptr};
 thread_local const std::string* t_actor = nullptr;
+thread_local TraceContext t_context{};
 
 std::int64_t wallMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -73,6 +74,14 @@ std::int64_t TraceRecorder::stamp() const {
 }
 
 void TraceRecorder::record(TraceEvent event) {
+  // Causal adoption: an event recorded while a stimulus is executing (slot
+  // transition, goal action, flowlink forward, signal send) belongs to that
+  // stimulus's span unless the site set explicit ids.
+  if (event.trace_id == 0 && event.span_id == 0 &&
+      propagation_.load(std::memory_order_relaxed)) {
+    event.trace_id = t_context.trace;
+    event.span_id = t_context.span;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (event.ts_us == 0 && event.dur_us == 0) event.ts_us = stamp();
   if (ring_.size() < capacity_) {
@@ -135,6 +144,9 @@ void TraceRecorder::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  // Restart id allocation so a cleared recorder reproduces the ids of a
+  // fresh one (two same-seed runs through one recorder stay comparable).
+  next_id_.store(1, std::memory_order_relaxed);
 }
 
 void TraceRecorder::exportChromeTrace(std::ostream& os) const {
@@ -234,7 +246,56 @@ std::string TraceRecorder::chromeTraceJson() const {
                     static_cast<long long>(ev.v1));
       out += buf;
     }
+    // Causal ids, present only under propagation so the prior export shape
+    // is preserved bit-for-bit when the feature is off.
+    if (ev.trace_id != 0 || ev.span_id != 0 || ev.parent_span != 0) {
+      arg_comma();
+      std::snprintf(buf, sizeof(buf),
+                    "\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+                    static_cast<unsigned long long>(ev.trace_id),
+                    static_cast<unsigned long long>(ev.span_id),
+                    static_cast<unsigned long long>(ev.parent_span));
+      out += buf;
+    }
     out += "}}";
+  }
+  // Perfetto flow arrows: one s/f pair per cross-span parent->child link,
+  // so traces render as connected causal chains instead of disjoint
+  // slices. The arrow leaves the parent span at its end (the instant the
+  // sender's outputs were emitted) and lands at the child span's start.
+  {
+    std::map<std::uint64_t, const TraceEvent*> span_of;
+    for (const TraceEvent& ev : events) {
+      if (ev.kind == EventKind::boxSpan && ev.span_id != 0) {
+        span_of.emplace(ev.span_id, &ev);
+      }
+    }
+    for (const TraceEvent& ev : events) {
+      if (ev.kind != EventKind::boxSpan || ev.parent_span == 0) continue;
+      auto pit = span_of.find(ev.parent_span);
+      if (pit == span_of.end()) continue;  // parent fell out of the ring
+      const TraceEvent& parent = *pit->second;
+      const std::string& pactor =
+          parent.actor.empty() ? std::string("(system)") : parent.actor;
+      const std::string& cactor =
+          ev.actor.empty() ? std::string("(system)") : ev.actor;
+      comma();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"s\",\"pid\":1,\"tid\":%d,\"ts\":%lld,"
+                    "\"cat\":\"flow\",\"name\":\"causal\",\"id\":%llu}",
+                    tid_of[pactor],
+                    static_cast<long long>(parent.ts_us + parent.dur_us),
+                    static_cast<unsigned long long>(ev.span_id));
+      out += buf;
+      comma();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%lld,\"cat\":\"flow\",\"name\":\"causal\","
+                    "\"id\":%llu}",
+                    tid_of[cactor], static_cast<long long>(ev.ts_us),
+                    static_cast<unsigned long long>(ev.span_id));
+      out += buf;
+    }
   }
   out += "],\"otherData\":{";
   std::snprintf(buf, sizeof(buf), "\"dropped_events\":%llu",
@@ -261,5 +322,14 @@ ActorScope::ActorScope(const std::string& name) noexcept : prev_(t_actor) {
 }
 
 ActorScope::~ActorScope() { t_actor = prev_; }
+
+TraceContext currentContext() noexcept { return t_context; }
+
+ContextScope::ContextScope(const TraceContext& ctx) noexcept
+    : prev_(t_context) {
+  t_context = ctx;
+}
+
+ContextScope::~ContextScope() { t_context = prev_; }
 
 }  // namespace cmc::obs

@@ -17,6 +17,13 @@
 // wall-clock offset. Exports: Chrome trace-event JSON (load in Perfetto or
 // chrome://tracing) via exportChromeTrace(). The export is a pure function
 // of the buffered events, so identical runs yield byte-identical traces.
+// Causal propagation (opt-in on top of recording, see obs/context.hpp):
+// with setPropagation(true), the recorder also allocates trace and span
+// ids, events adopt the thread-local TraceContext of the stimulus that
+// produced them, and exportChromeTrace() emits Perfetto flow arrows for
+// every cross-actor parent->child link. With propagation off, all id
+// fields stay zero and the export is byte-identical to the pre-causal
+// format.
 #pragma once
 
 #include <atomic>
@@ -27,6 +34,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/context.hpp"
 
 namespace cmc::obs {
 
@@ -52,6 +61,12 @@ struct TraceEvent {
   std::uint64_t id = 0;     // slot/channel id when meaningful
   std::int64_t v0 = 0;      // kind-specific numeric args
   std::int64_t v1 = 0;
+  // Causal linkage (all zero unless propagation is enabled): the trace this
+  // event belongs to, the span it is (boxSpan) or sits inside (instants),
+  // and — for boxSpan and signalRecv — the causing parent span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
   std::string name;         // what happened (signal kind, state, goal kind)
   std::string actor;        // which box (maps to a trace "thread")
   std::string aux;          // peer box / previous state / cause
@@ -84,6 +99,24 @@ class TraceRecorder {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
+  // ------------------------------------------------------ causal propagation
+  // Opt-in: when enabled, stimuli get span ids, signals carry TraceContext
+  // in-band, and events without explicit ids adopt the current context.
+  // Off by default so plain tracing stays byte-compatible with PR 2.
+  void setPropagation(bool on) noexcept {
+    propagation_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool propagationEnabled() const noexcept {
+    return propagation_.load(std::memory_order_relaxed);
+  }
+
+  // Deterministic id allocation: a single monotonic counter shared by trace
+  // and span ids. Single-threaded hosts (the simulator) therefore produce
+  // identical ids for identical seeds, which keeps exports byte-identical.
+  [[nodiscard]] std::uint64_t newId() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Chrome trace-event JSON: {"traceEvents":[...]} with one "thread" per
   // actor (first-appearance order) and a metadata record of drop counts.
   void exportChromeTrace(std::ostream& os) const;
@@ -93,6 +126,8 @@ class TraceRecorder {
   [[nodiscard]] std::int64_t stamp() const;
 
   mutable std::mutex mutex_;
+  std::atomic<bool> propagation_{false};
+  std::atomic<std::uint64_t> next_id_{1};  // 0 means "no id"
   std::function<std::int64_t()> now_us_;
   std::int64_t wall_epoch_us_ = 0;
   std::size_t capacity_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -19,6 +20,10 @@ Simulator::~Simulator() {
   if (attached_metrics_ != nullptr && obs::metrics() == attached_metrics_) {
     obs::setMetrics(nullptr);
   }
+  if (attached_flight_ != nullptr &&
+      obs::flightRecorder() == attached_flight_) {
+    obs::setFlightRecorder(nullptr);
+  }
   if (owns_log_time_) log::setSimTimeSource(nullptr);
 }
 
@@ -33,6 +38,16 @@ void Simulator::attachTrace(obs::TraceRecorder* rec) {
 void Simulator::attachMetrics(obs::MetricsRegistry* m) {
   obs::setMetrics(m);
   attached_metrics_ = m;
+}
+
+void Simulator::attachFlightRecorder(obs::FlightRecorder* fr) {
+  if (fr != nullptr) {
+    fr->setTrace(attached_trace_);
+    fr->setMetrics(attached_metrics_);
+    fr->setProbes(&probes_);
+  }
+  obs::setFlightRecorder(fr);
+  attached_flight_ = fr;
 }
 
 void Simulator::useSimTimeForLogs() {
@@ -176,7 +191,8 @@ void Simulator::refreshTick(const std::string& name) {
   }
 }
 
-void Simulator::stimulate(Box& box, std::function<void()> fn) {
+void Simulator::stimulate(Box& box, std::function<void()> fn,
+                          obs::TraceContext cause) {
   // Serialize on the box: processing starts when the box frees up and takes
   // c; outputs appear at completion.
   SimTime& busy = busy_until_[box.name()];
@@ -196,21 +212,43 @@ void Simulator::stimulate(Box& box, std::function<void()> fn) {
   const std::int64_t start_us =
       std::chrono::duration_cast<std::chrono::microseconds>(start.sinceStart())
           .count();
-  loop_.scheduleAt(done, [this, &box, start_us, fn = std::move(fn)]() {
+  loop_.scheduleAt(done, [this, &box, start_us, cause, fn = std::move(fn)]() {
     // A stimulus queued before a crash dies with the box's volatile state.
     if (boxDown(box.name())) {
       if (fault_plan_ != nullptr) ++fault_plan_->counters().dead_box_drops;
       return;
     }
+    obs::TraceRecorder* rec = obs::recorder();
+    // Span adoption: the stimulus becomes a child of the span that stamped
+    // the triggering signal; a causeless stimulus roots a fresh trace.
+    // Each delivery gets its own span id, so fault-injected duplicates and
+    // retransmits show up as distinct spans under one trace.
+    obs::TraceContext self{};
+    if (rec != nullptr && rec->propagationEnabled()) {
+      self.trace = cause.trace != 0 ? cause.trace : rec->newId();
+      self.span = rec->newId();
+    }
     {
       // Value-type instrumentation inside (SlotEndpoint transitions,
-      // flowlink updates) attributes events to this box via the scope.
+      // flowlink updates) attributes events to this box via the scope, and
+      // to this stimulus's span via the context scope.
       obs::ActorScope scope(box.name());
+      obs::ContextScope ctx_scope(self);
       fn();
       drain(box);
     }
-    if (obs::TraceRecorder* rec = obs::recorder()) {
-      rec->recordSpan("stimulus", box.name(), start_us, nowUs() - start_us);
+    if (rec != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::boxSpan;
+      ev.name = "stimulus";
+      ev.actor = box.name();
+      ev.ts_us = start_us;
+      const std::int64_t dur = nowUs() - start_us;
+      ev.dur_us = dur > 0 ? dur : 1;  // zero-width spans vanish in viewers
+      ev.trace_id = self.trace;
+      ev.span_id = self.span;
+      ev.parent_span = cause.span;
+      rec->record(std::move(ev));
     }
     // Liveness under faults: any stimulus that leaves the box unconverged
     // (a lost answer, a stale signal) re-arms its refresh tick.
@@ -234,6 +272,10 @@ void Simulator::drain(Box& box) {
 
 void Simulator::processOutput(Box& sender, Box::Output&& out) {
   const std::string from = sender.name();
+  // Every output is stamped with the context of the stimulus that produced
+  // it (empty when propagation is off or during static configuration), so
+  // the receiving box's stimulus span can adopt it as its causal parent.
+  const obs::TraceContext cause = obs::currentContext();
 
   for (auto& item : out.tunnel) {
     const Route route = routeOf(sender, item.slot);
@@ -279,10 +321,13 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     for (std::uint32_t copy = 0; copy < fate.copies; ++copy) {
       const SimDuration when = latency + fate.extra + fate.copy_spacing * copy;
       Signal signal_copy = item.signal;
+      // Duplicates carry the same context: one trace id, one parent span;
+      // each delivery then becomes its own span on the receiver.
       loop_.schedule(when, [this, to, channel = route.channel,
-                            tunnel = route.tunnel, from,
+                            tunnel = route.tunnel, from, cause,
                             signal = std::move(signal_copy)]() mutable {
-        deliverTunnelSignal(to, channel, tunnel, from, std::move(signal));
+        deliverTunnelSignal(to, channel, tunnel, from, std::move(signal),
+                            cause);
       });
     }
   }
@@ -293,6 +338,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     ChannelRecord& rec = it->second;
     const bool from_a = rec.boxA == from;
     const std::string to = from_a ? rec.boxB : rec.boxA;
+    meta.ctx = cause;  // in-band provenance, mirrors the net frame encoding
     loop_.schedule(timing_.sampleNetwork(rng_),
                    [this, to, channel_id, meta = std::move(meta)]() {
                      auto cit = channels_.find(channel_id);
@@ -306,19 +352,22 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
                      Box& target = box(to);
                      stimulate(target, [&target, channel_id, meta]() {
                        target.deliverMeta(channel_id, meta);
-                     });
+                     }, meta.ctx);
                    });
   }
 
   for (auto& timer : out.timers) {
-    loop_.schedule(timer.delay, [this, from, tag = std::move(timer.tag)]() {
+    // A timer continues the causal chain of the stimulus that armed it
+    // (e.g. an openslot retry descends from the open that went unanswered).
+    loop_.schedule(timer.delay, [this, from, cause,
+                                 tag = std::move(timer.tag)]() {
       auto it = boxes_.find(from);
       if (it == boxes_.end()) return;
       // Timers are volatile: a crash forgets them (crashRestart re-arms
       // what its re-attached goals still need).
       if (boxDown(from)) return;
       Box& target = *it->second;
-      stimulate(target, [&target, tag]() { target.fireTimer(tag); });
+      stimulate(target, [&target, tag]() { target.fireTimer(tag); }, cause);
     });
   }
 
@@ -345,7 +394,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     // transport-level end registration is synchronous so that signals in
     // flight right behind the setup find the slots; the callee's feature
     // reaction to the new channel is charged one processing cost.
-    loop_.schedule(timing_.sampleNetwork(rng_), [this, id, from]() {
+    loop_.schedule(timing_.sampleNetwork(rng_), [this, id, from, cause]() {
       auto cit = channels_.find(id);
       if (cit == channels_.end() || !cit->second.aliveA) return;
       ChannelRecord& r = cit->second;
@@ -355,7 +404,9 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
       for (std::uint32_t t = 0; t < r.tunnels; ++t) {
         routes_[{callee.name(), r.slotsB[t]}] = Route{id, t, false};
       }
-      stimulate(callee, []() {});  // drain hook outputs after processing cost
+      // Drain hook outputs after processing cost; causally the callee's
+      // reaction descends from the stimulus that requested the channel.
+      stimulate(callee, []() {}, cause);
     });
   }
 
@@ -371,7 +422,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     const std::string to = from_a ? rec.boxB : rec.boxA;
     const bool peer_alive = from_a ? rec.aliveB : rec.aliveA;
     if (peer_alive) {
-      loop_.schedule(timing_.sampleNetwork(rng_), [this, id, to]() {
+      loop_.schedule(timing_.sampleNetwork(rng_), [this, id, to, cause]() {
         auto cit = channels_.find(id);
         if (cit == channels_.end()) return;
         Box& target = box(to);
@@ -385,7 +436,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
             for (SlotId s : (was_a ? r.slotsA : r.slotsB)) routes_.erase({to, s});
             if (!r.aliveA && !r.aliveB) channels_.erase(cit2);
           }
-        });
+        }, cause);
       });
     } else {
       channels_.erase(it);
@@ -395,7 +446,8 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
 
 void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel,
                                     std::uint32_t tunnel,
-                                    const std::string& from_box, Signal signal) {
+                                    const std::string& from_box, Signal signal,
+                                    obs::TraceContext ctx) {
   auto cit = channels_.find(channel);
   if (cit == channels_.end()) return;  // torn down while in flight
   ChannelRecord& rec = cit->second;
@@ -429,6 +481,11 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
     ev.id = slot.value();
     ev.v0 = static_cast<std::int64_t>(channel.value());
     ev.v1 = tunnel;
+    // The arrival instant precedes the stimulus span (processing may queue
+    // behind a busy box), so it records the carried context explicitly:
+    // which trace it belongs to and which span caused it.
+    ev.trace_id = ctx.trace;
+    ev.parent_span = ctx.span;
     trace->record(std::move(ev));
   }
   if (onSignalDelivered) {
@@ -436,7 +493,7 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
   }
   stimulate(target, [&target, slot, signal = std::move(signal)]() {
     target.deliverTunnel(slot, signal);
-  });
+  }, ctx);
 }
 
 Simulator::Route Simulator::routeOf(const Box& box, SlotId slot) const {

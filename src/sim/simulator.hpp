@@ -23,6 +23,7 @@
 
 #include "core/box.hpp"
 #include "media/network.hpp"
+#include "obs/context.hpp"
 #include "obs/probes.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/fault.hpp"
@@ -31,6 +32,7 @@
 namespace cmc::obs {
 class TraceRecorder;
 class MetricsRegistry;
+class FlightRecorder;
 }  // namespace cmc::obs
 
 namespace cmc {
@@ -98,6 +100,11 @@ class Simulator {
   void attachTrace(obs::TraceRecorder* rec);
   // Install `m` as the global metrics registry (detached on destruction).
   void attachMetrics(obs::MetricsRegistry* m);
+  // Install `fr` as the process-wide flight recorder and point it at this
+  // simulation's probes plus whatever trace/metrics are attached, so a
+  // probe timeout or flightAssert leaves a post-mortem dump behind. Pass
+  // nullptr to detach (the destructor also detaches).
+  void attachFlightRecorder(obs::FlightRecorder* fr);
   // Stamp log lines with this simulation's virtual time instead of the
   // wall clock (restored on destruction).
   void useSimTimeForLogs();
@@ -121,10 +128,14 @@ class Simulator {
   // Arm a convergence probe in the shared "stabilization_time" bucket —
   // the interval from now until `quiescent` first holds, i.e. how long the
   // path took to self-stabilize.
+  // A positive `deadline_us` (absolute virtual time) makes the probe a
+  // watchdog: missing it fails the probe and triggers the attached flight
+  // recorder.
   void armStabilizationProbe(std::string name,
-                             obs::ConvergenceProbes::Predicate quiescent) {
+                             obs::ConvergenceProbes::Predicate quiescent,
+                             std::int64_t deadline_us = 0) {
     probes_.arm(std::move(name), "stabilization_time", nowUs(),
-                std::move(quiescent));
+                std::move(quiescent), deadline_us);
   }
 
   // Hook invoked on every tunnel-signal delivery (tracing/metrics).
@@ -146,8 +157,12 @@ class Simulator {
 
   void registerBox(std::unique_ptr<Box> box);
   // Run `fn` as a stimulus on `box` now: serialize on the box (busy time),
-  // charge c, then execute and drain outputs.
-  void stimulate(Box& box, std::function<void()> fn);
+  // charge c, then execute and drain outputs. `cause` is the causal parent
+  // (the context stamped on the signal/timer that triggered this stimulus);
+  // empty for roots — user injections, refresh ticks, restarts — which
+  // start a fresh trace when propagation is enabled.
+  void stimulate(Box& box, std::function<void()> fn,
+                 obs::TraceContext cause = {});
   // Execute a scheduled CrashEvent: mark the box down, drop its queued
   // stimuli, and schedule the restart (Box::crashRestart) at the end of
   // the outage.
@@ -160,7 +175,7 @@ class Simulator {
   void processOutput(Box& box, Box::Output&& out);
   void deliverTunnelSignal(const std::string& to_box, ChannelId channel,
                            std::uint32_t tunnel, const std::string& from_box,
-                           Signal signal);
+                           Signal signal, obs::TraceContext ctx);
 
   struct Route {
     ChannelId channel;
@@ -190,6 +205,7 @@ class Simulator {
   // pointer never outlives the run that owns it.
   obs::TraceRecorder* attached_trace_ = nullptr;
   obs::MetricsRegistry* attached_metrics_ = nullptr;
+  obs::FlightRecorder* attached_flight_ = nullptr;
   bool owns_log_time_ = false;
 };
 

@@ -1,0 +1,198 @@
+// Tests for the critical-path analyzer: per-hop attribution on synthetic
+// event windows, and the headline acceptance check — on a 3-box signaling
+// path the extracted critical path reproduces the paper's latency law
+// p*n + (p+1)*c exactly, hop by hop, in virtual time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "endpoints/user_device.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace cmc {
+namespace {
+
+using namespace literals;
+
+obs::TraceEvent span(std::string actor, std::int64_t ts, std::int64_t dur,
+                     std::uint64_t trace, std::uint64_t id,
+                     std::uint64_t parent) {
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::boxSpan;
+  ev.name = "stimulus";
+  ev.actor = std::move(actor);
+  ev.ts_us = ts;
+  ev.dur_us = dur;
+  ev.trace_id = trace;
+  ev.span_id = id;
+  ev.parent_span = parent;
+  return ev;
+}
+
+obs::TraceEvent arrival(std::string actor, std::int64_t ts, std::uint64_t trace,
+                        std::uint64_t parent) {
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::signalRecv;
+  ev.name = "open";
+  ev.actor = std::move(actor);
+  ev.ts_us = ts;
+  ev.trace_id = trace;
+  ev.parent_span = parent;
+  return ev;
+}
+
+TEST(CriticalPathTest, EmptyWindowYieldsEmptyReport) {
+  const obs::CriticalPathReport report = obs::criticalPath({});
+  EXPECT_EQ(report.hops.size(), 0u);
+  EXPECT_EQ(report.total_us, 0);
+  EXPECT_NE(report.json().find("\"hops\":[]"), std::string::npos);
+}
+
+TEST(CriticalPathTest, SyntheticChainSplitsTransitAndQueue) {
+  // X processes [0,10), the signal arrives at Y at 25, but Y is busy until
+  // 30: 15 us of wire transit, 5 us queueing, 5 us processing.
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span("X", 0, 10, /*trace=*/1, /*id=*/1, /*parent=*/0));
+  events.push_back(arrival("Y", 25, /*trace=*/1, /*parent=*/1));
+  events.push_back(span("Y", 30, 5, /*trace=*/1, /*id=*/2, /*parent=*/1));
+
+  const obs::CriticalPathReport report = obs::criticalPath(events);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.trace, 1u);
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.hops[0].box, "X");
+  EXPECT_EQ(report.hops[0].proc_us, 10);
+  EXPECT_EQ(report.hops[0].transit_us, 0);
+  EXPECT_EQ(report.hops[1].box, "Y");
+  EXPECT_EQ(report.hops[1].transit_us, 15);
+  EXPECT_EQ(report.hops[1].queue_us, 5);
+  EXPECT_EQ(report.hops[1].proc_us, 5);
+  EXPECT_EQ(report.total_us, 35);
+  EXPECT_EQ(report.proc_total_us, 15);
+  EXPECT_EQ(report.transit_total_us, 15);
+  EXPECT_EQ(report.queue_total_us, 5);
+}
+
+TEST(CriticalPathTest, TruncatedParentChainIsMarkedIncomplete) {
+  std::vector<obs::TraceEvent> events;
+  // The parent span (id 99) fell out of the retained ring.
+  events.push_back(span("Y", 50, 10, /*trace=*/1, /*id=*/2, /*parent=*/99));
+  const obs::CriticalPathReport report = obs::criticalPath(events);
+  EXPECT_FALSE(report.complete);
+  ASSERT_EQ(report.hops.size(), 1u);
+  EXPECT_EQ(report.hops[0].box, "Y");
+  EXPECT_NE(report.json().find("\"complete\":false"), std::string::npos);
+}
+
+TEST(CriticalPathTest, OptionsSelectTerminalSpan) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span("X", 0, 10, /*trace=*/1, /*id=*/1, /*parent=*/0));
+  events.push_back(span("Y", 20, 10, /*trace=*/1, /*id=*/2, /*parent=*/1));
+  events.push_back(span("Z", 40, 10, /*trace=*/1, /*id=*/3, /*parent=*/1));
+  obs::CriticalPathOptions opts;
+  opts.end_actor = "Y";
+  const obs::CriticalPathReport report = obs::criticalPath(events, opts);
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.hops.back().box, "Y");
+
+  obs::CriticalPathOptions cutoff;
+  cutoff.end_at_us = 35;  // Z's span ends later than the cutoff
+  const obs::CriticalPathReport early = obs::criticalPath(events, cutoff);
+  ASSERT_EQ(early.hops.size(), 2u);
+  EXPECT_EQ(early.hops.back().box, "Y");
+}
+
+// Acceptance check (paper §VIII-C): after the last flowlink of a 3-box path
+// initializes, the causal chain to the farther endpoint B is p = 3 signaling
+// hops. With the paper's constants (n = 34 ms, c = 20 ms, jitter-free) the
+// critical path must attribute each hop exactly — transit n, processing c,
+// zero queueing — and total p*n + (p+1)*c = 182 ms of virtual time.
+TEST(CriticalPathTest, ThreeBoxPathReproducesLatencyLawPerHop) {
+  constexpr std::size_t k = 3;
+  Simulator sim(TimingModel::paperDefaults(), 3);
+  obs::TraceRecorder rec;
+  sim.attachTrace(&rec);
+  sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.9.0.1", 5000));
+  auto& b = sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
+                                      MediaAddress::parse("10.9.0.2", 5000));
+  std::vector<Box*> patches;
+  for (std::size_t i = 0; i < k; ++i) {
+    patches.push_back(&sim.addBox<Box>("P" + std::to_string(i + 1)));
+  }
+  std::vector<ChannelId> channels;
+  channels.push_back(sim.connect("A", "P1"));
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    channels.push_back(
+        sim.connect("P" + std::to_string(i + 1), "P" + std::to_string(i + 2)));
+  }
+  channels.push_back(sim.connect("P" + std::to_string(k), "B"));
+
+  // Pre-link every box except P1 (see bench_latency_path_length.cpp): both
+  // half-paths come up muted and wait on P1's flowlink.
+  DescriptorFactory hold_ids{77};
+  for (std::size_t i = 0; i < k; ++i) {
+    Box& box = *patches[i];
+    const SlotId left = box.slotsOf(channels[i]).front();
+    const SlotId right = box.slotsOf(channels[i + 1]).front();
+    if (i == 0) {
+      box.setGoal(left, HoldSlotGoal{MediaIntent::server(), hold_ids});
+      box.setGoal(right, HoldSlotGoal{MediaIntent::server(), hold_ids});
+    } else {
+      box.linkSlots(left, right);
+    }
+  }
+  sim.inject("A", [](Box& bx) { static_cast<UserDeviceBox&>(bx).callOnLine(); });
+  sim.inject("B", [](Box& bx) { static_cast<UserDeviceBox&>(bx).callOnLine(); });
+  sim.runFor(20_s);
+
+  // Record only the measured cascade: drop the setup phase, then trace the
+  // final flowlink initialization with causal propagation on.
+  rec.clear();
+  rec.setPropagation(true);
+  const MediaAddress a_addr =
+      static_cast<UserDeviceBox&>(sim.box("A")).media().address();
+  const std::int64_t armed_at = sim.nowUs();
+  sim.probes().arm("path_p3", "path_p3", armed_at, [&b, a_addr]() {
+    const auto& st = b.media().sendingState();
+    return st && st->target == a_addr && !isNoMedia(st->codec);
+  });
+  sim.inject("P1", [&channels](Box& bx) {
+    bx.linkSlots(bx.slotsOf(channels[0]).front(),
+                 bx.slotsOf(channels[1]).front());
+  });
+  sim.runFor(30_s);
+
+  const auto latency = sim.probes().latencyUs("path_p3");
+  ASSERT_TRUE(latency.has_value());
+  // p*n + (p+1)*c with p=3: 3*34ms + 4*20ms = 182 ms.
+  EXPECT_EQ(*latency, 182'000);
+
+  obs::CriticalPathOptions opts;
+  opts.end_actor = "B";
+  opts.end_at_us = armed_at + *latency;
+  const obs::CriticalPathReport report = obs::criticalPath(rec.snapshot(), opts);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.hops.size(), k + 1);
+  EXPECT_EQ(report.hops[0].box, "P1");
+  EXPECT_EQ(report.hops[0].parent, 0u);
+  const char* expected_boxes[] = {"P1", "P2", "P3", "B"};
+  for (std::size_t i = 0; i < report.hops.size(); ++i) {
+    const obs::CriticalPathHop& hop = report.hops[i];
+    EXPECT_EQ(hop.box, expected_boxes[i]);
+    EXPECT_EQ(hop.proc_us, 20'000) << "hop " << i;       // c
+    EXPECT_EQ(hop.transit_us, i == 0 ? 0 : 34'000) << "hop " << i;  // n
+    EXPECT_EQ(hop.queue_us, 0) << "hop " << i;
+  }
+  EXPECT_EQ(report.proc_total_us, 80'000);     // (p+1)*c
+  EXPECT_EQ(report.transit_total_us, 102'000); // p*n
+  EXPECT_EQ(report.queue_total_us, 0);
+  EXPECT_EQ(report.total_us, *latency);
+  EXPECT_EQ(report.total_us, report.end_us - report.start_us);
+}
+
+}  // namespace
+}  // namespace cmc

@@ -8,6 +8,8 @@
 
 #include "core/goal.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 
 namespace cmc::net {
 namespace {
@@ -59,6 +61,65 @@ TEST(Framing, MultipleMessagesOneChunk) {
     EXPECT_EQ(std::get<TunnelSignal>(*out).tunnel, i);
   }
   EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(Framing, TraceContextSurvivesRoundTrip) {
+  TunnelSignal sig{2, OpenSignal{Medium::audio, desc(4)}};
+  sig.ctx = obs::TraceContext{0x1234567890abcdefULL, 42};
+  const ChannelMessage m = sig;
+  auto frame = encodeFrame(m);
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);  // equality deliberately ignores the causal ctx
+  const auto& ts = std::get<TunnelSignal>(*out);
+  EXPECT_EQ(ts.ctx.trace, 0x1234567890abcdefULL);
+  EXPECT_EQ(ts.ctx.span, 42u);
+
+  MetaSignal meta{MetaKind::custom, "paid", "x"};
+  meta.ctx = obs::TraceContext{9, 10};
+  auto meta_frame = encodeFrame(ChannelMessage{meta});
+  FrameDecoder meta_decoder;
+  meta_decoder.feed(meta_frame.data(), meta_frame.size());
+  auto meta_out = meta_decoder.next();
+  ASSERT_TRUE(meta_out.has_value());
+  EXPECT_EQ(std::get<MetaSignal>(*meta_out).ctx, meta.ctx);
+}
+
+TEST(Framing, EmptyContextKeepsLegacyWireBytes) {
+  // An empty ctx serializes with the original message tags, so runs without
+  // propagation — including every mc canonicalization — see identical bytes
+  // to the pre-context encoding. The ctx-bearing tag costs exactly the two
+  // u64 ids.
+  const auto legacy = encodeFrame(ChannelMessage{TunnelSignal{2, CloseSignal{}}});
+  EXPECT_EQ(legacy[8], 0);  // body starts after the 8-byte header: tag 0
+  TunnelSignal stamped{2, CloseSignal{}};
+  stamped.ctx = obs::TraceContext{7, 9};
+  const auto tagged = encodeFrame(ChannelMessage{stamped});
+  EXPECT_EQ(tagged[8], 2);  // ctx-bearing tunnel-signal tag
+  EXPECT_EQ(tagged.size(), legacy.size() + 16);
+}
+
+TEST(Framing, CorruptFrameDoesNotPoisonFollowingContext) {
+  TunnelSignal first{1, CloseSignal{}};
+  first.ctx = obs::TraceContext{11, 12};
+  TunnelSignal second{2, CloseSignal{}};
+  second.ctx = obs::TraceContext{21, 22};
+  auto bad = encodeFrame(ChannelMessage{first});
+  bad.back() ^= 0x5a;  // body byte flip: header checksum no longer matches
+  const auto good = encodeFrame(ChannelMessage{second});
+
+  FrameDecoder decoder;
+  decoder.feed(bad.data(), bad.size());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(decoder.corruptFrames(), 1u);
+  // The next frame decodes with its own context, untouched by the loss.
+  decoder.feed(good.data(), good.size());
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<TunnelSignal>(*out).ctx, second.ctx);
 }
 
 TEST(Framing, OversizeFrameIsRejected) {
@@ -195,6 +256,42 @@ TEST_F(LoopbackPair, DropAndCorruptHooksLoseExactlyOneFrame) {
   EXPECT_EQ(received, (std::vector<std::uint32_t>{2}));
   EXPECT_TRUE(client_->isOpen());
   EXPECT_TRUE(server_->isOpen());
+}
+
+TEST_F(LoopbackPair, SendStampsCurrentContextWhenPropagationOn) {
+  obs::TraceRecorder rec;
+  rec.setPropagation(true);
+  obs::setRecorder(&rec);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<obs::TraceContext> received;
+  server_->start([&](const ChannelMessage& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    received.push_back(std::get<TunnelSignal>(m).ctx);
+    cv.notify_one();
+  });
+  client_->start([](const ChannelMessage&) {});
+
+  {
+    // Sends inside a stimulus scope pick up its context in-band.
+    obs::ContextScope scope(obs::TraceContext{5, 6});
+    ASSERT_TRUE(client_->send(TunnelSignal{0, CloseSignal{}}));
+    // An explicitly stamped signal keeps its own ids.
+    TunnelSignal pre{1, CloseSignal{}};
+    pre.ctx = obs::TraceContext{1, 2};
+    ASSERT_TRUE(client_->send(pre));
+  }
+  // No surrounding stimulus: nothing to propagate.
+  ASSERT_TRUE(client_->send(TunnelSignal{2, CloseSignal{}}));
+
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&]() { return received.size() == 3; }));
+  EXPECT_EQ(received[0], (obs::TraceContext{5, 6}));
+  EXPECT_EQ(received[1], (obs::TraceContext{1, 2}));
+  EXPECT_TRUE(received[2].empty());
+  obs::setRecorder(nullptr);
 }
 
 TEST_F(LoopbackPair, CloseNotifiesPeer) {

@@ -3,11 +3,14 @@
 // metrics counters, convergence probes, and log timestamps.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "endpoints/user_device.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "obs/trace.hpp"
@@ -136,6 +139,66 @@ TEST(ObsMetricsTest, CountersPopulatedBySimulation) {
   EXPECT_NE(json.find("\"sim.stimuli\""), std::string::npos);
 }
 
+TEST(ObsMetricsTest, GaugeAddIsExactUnderContention) {
+  // Regression: add() used to be a load/set pair, losing concurrent deltas.
+  obs::Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge]() {
+      for (int i = 0; i < kIters; ++i) {
+        gauge.add(2);
+        gauge.add(-1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(gauge.value(), kThreads * kIters);
+  // The high-water mark saw at least the final value and never more than
+  // the sum of all positive deltas.
+  EXPECT_GE(gauge.max(), gauge.value());
+  EXPECT_LE(gauge.max(), std::int64_t{2} * kThreads * kIters);
+}
+
+TEST(ObsTraceTest, FlowEventsLinkParentAndChildSpans) {
+  obs::TraceRecorder rec;
+  obs::TraceEvent parent;
+  parent.kind = obs::EventKind::boxSpan;
+  parent.name = "stimulus";
+  parent.actor = "A";
+  parent.ts_us = 100;
+  parent.dur_us = 20'000;
+  parent.trace_id = 7;
+  parent.span_id = 1;
+  rec.record(parent);
+  obs::TraceEvent child = parent;
+  child.actor = "B";
+  child.ts_us = 54'100;
+  child.span_id = 2;
+  child.parent_span = 1;
+  rec.record(child);
+  // An orphan whose parent fell out of the ring must not emit an arrow.
+  obs::TraceEvent orphan = parent;
+  orphan.actor = "C";
+  orphan.ts_us = 90'000;
+  orphan.span_id = 3;
+  orphan.parent_span = 99;
+  rec.record(orphan);
+
+  const std::string json = rec.chromeTraceJson();
+  // The arrow leaves A's span at its end and lands at B's span start, both
+  // sides carrying the child's span id so viewers pair them up.
+  EXPECT_NE(json.find("{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":20100,"
+                      "\"cat\":\"flow\",\"name\":\"causal\",\"id\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":2,"
+                      "\"ts\":54100,\"cat\":\"flow\",\"name\":\"causal\","
+                      "\"id\":2}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"id\":3}"), std::string::npos);
+}
+
 TEST(ObsMetricsTest, HistogramQuantiles) {
   obs::MetricsRegistry reg;
   obs::Histogram& h = reg.histogram("test.latency");
@@ -188,6 +251,83 @@ TEST(ObsProbesTest, UnsatisfiedProbeStaysArmed) {
   EXPECT_EQ(sim.probes().armedCount(), 1u);
   EXPECT_EQ(sim.probes().convergedCount(), 0u);
   EXPECT_FALSE(sim.probes().latencyUs("never").has_value());
+}
+
+TEST(ObsFlightRecorderTest, ProbeDeadlineTriggersPostMortemDump) {
+  Simulator sim(TimingModel::paperDefaults(), 17);
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry reg;
+  sim.attachTrace(&rec);
+  sim.attachMetrics(&reg);
+  rec.setPropagation(true);
+  obs::FlightRecorder::Config cfg;
+  cfg.directory = ::testing::TempDir();
+  cfg.prefix = "obs_test_flight";
+  obs::FlightRecorder flight(cfg);
+  sim.attachFlightRecorder(&flight);
+
+  sim.addBox<UserDeviceBox>("A", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.0.0.1", 5000));
+  sim.addBox<UserDeviceBox>("B", sim.mediaNetwork(), sim.loop(),
+                            MediaAddress::parse("10.0.0.2", 5000));
+  std::string failed_probe;
+  sim.probes().setOnFailure(
+      [&](const std::string& name, std::int64_t) { failed_probe = name; });
+  // A watchdog that can never converge: the first probe check after its
+  // deadline (1 ms of virtual time) must fail it and dump a post-mortem.
+  sim.probes().arm("never", "never", sim.nowUs(), []() { return false; },
+                   /*deadline_us=*/1'000);
+  sim.inject("A",
+             [](Box& box) { static_cast<UserDeviceBox&>(box).placeCall("B"); });
+  sim.runFor(2_s);
+
+  EXPECT_EQ(sim.probes().failedCount(), 1u);
+  ASSERT_EQ(sim.probes().failed().size(), 1u);
+  EXPECT_EQ(sim.probes().failed()[0], "never");
+  EXPECT_EQ(failed_probe, "never");
+  EXPECT_EQ(sim.probes().armedCount(), 0u);
+  EXPECT_EQ(flight.dumps(), 1u);
+
+  std::ifstream in(flight.lastPath());
+  ASSERT_TRUE(in.good()) << flight.lastPath();
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("\"reason\":\"probe_timeout:never\""), std::string::npos);
+  EXPECT_NE(body.find("\"critical_path\":"), std::string::npos);
+  EXPECT_NE(body.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(body.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(body.find("\"probes_failed\":1"), std::string::npos);
+}
+
+TEST(ObsFlightRecorderTest, FlightAssertDumpsOnlyOnFailure) {
+  obs::TraceRecorder rec;
+  rec.record(obs::EventKind::mark, "before_failure", "harness");
+  obs::FlightRecorder::Config cfg;
+  cfg.directory = ::testing::TempDir();
+  cfg.prefix = "obs_test_assert";
+  cfg.max_dumps = 2;
+  obs::FlightRecorder flight(cfg);
+  flight.setTrace(&rec);
+  obs::setFlightRecorder(&flight);
+
+  EXPECT_TRUE(obs::flightAssert(true, "fine"));
+  EXPECT_EQ(flight.dumps(), 0u);
+  EXPECT_FALSE(obs::flightAssert(false, "path diverged"));
+  EXPECT_EQ(flight.dumps(), 1u);
+  // The reason is slugified into the deterministic filename.
+  EXPECT_NE(flight.lastPath().find("obs_test_assert_0_assert_path_diverged"),
+            std::string::npos);
+  std::ifstream in(flight.lastPath());
+  ASSERT_TRUE(in.good());
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("before_failure"), std::string::npos);
+
+  // max_dumps caps a crash-looping run.
+  EXPECT_FALSE(obs::flightAssert(false, "again"));
+  EXPECT_FALSE(obs::flightAssert(false, "and again"));
+  EXPECT_EQ(flight.dumps(), 2u);
+  obs::setFlightRecorder(nullptr);
 }
 
 TEST(ObsLogTest, TimestampsUseInjectedSimTime) {
