@@ -1,0 +1,99 @@
+// Soak the sharded load runtime: sustained call churn across worker shards.
+//
+//   load_soak [--calls N] [--shards N] [--rate CALLS_PER_S]
+//             [--duration SIM_SECONDS] [--faults FRACTION] [--seed S]
+//
+// Either --calls fixes the call count directly, or --duration derives it
+// from the arrival rate (duration * rate). Prints per-shard stats, the
+// rollup metrics JSON, and a PASS/FAIL verdict: every call must converge to
+// its §V rest state and tear down leak-free (under faults, convergence is
+// still required — the windows close before hang-up and stabilization must
+// recover every call). CI runs this under tsan as the load-smoke job.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "load/sharded_runtime.hpp"
+#include "load/workload.hpp"
+
+using namespace cmc;
+
+int main(int argc, char** argv) {
+  load::WorkloadSpec workload;
+  workload.master_seed = 7;
+  workload.calls = 200;
+  workload.arrivals_per_s = 100.0;
+  workload.flowlink_fraction = 0.5;
+
+  load::LoadConfig config;
+  config.shards = 4;
+
+  double duration_s = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--calls") == 0) {
+      workload.calls = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      config.shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      workload.arrivals_per_s = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      duration_s = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      workload.fault_fraction = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      workload.master_seed = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (duration_s > 0.0) {
+    workload.calls =
+        static_cast<std::size_t>(duration_s * workload.arrivals_per_s);
+  }
+
+  std::printf("load_soak: %zu calls @ %.0f/s over %zu shards (faults %.2f, seed %llu)\n",
+              workload.calls, workload.arrivals_per_s, config.shards,
+              workload.fault_fraction,
+              static_cast<unsigned long long>(workload.master_seed));
+
+  load::ShardedRuntime runtime(config);
+  runtime.run(workload);
+
+  for (std::size_t i = 0; i < runtime.shardStats().size(); ++i) {
+    const auto& s = runtime.shardStats()[i];
+    std::printf(
+        "  shard %zu: %zu calls, %llu events, %llu signals, peak queue %zu, "
+        "%zu converged, %zu probe failures\n",
+        i, s.calls, static_cast<unsigned long long>(s.events_executed),
+        static_cast<unsigned long long>(s.signals_delivered), s.peak_pending,
+        s.probes_converged, s.probes_failed);
+  }
+
+  const auto& latency = runtime.setupLatency();
+  std::printf("setup latency us: p50=%.0f p99=%.0f max=%lld (n=%llu)\n",
+              latency.quantile(0.50), latency.quantile(0.99),
+              static_cast<long long>(latency.max()),
+              static_cast<unsigned long long>(latency.count()));
+  std::printf("calls/sec (wall): %.0f\n",
+              runtime.wallSeconds() > 0.0
+                  ? static_cast<double>(workload.calls) / runtime.wallSeconds()
+                  : 0.0);
+  std::printf("metrics: %s\n", runtime.metricsJson().c_str());
+
+  const std::size_t converged = runtime.convergedCount();
+  const std::size_t clean = runtime.cleanTeardownCount();
+  const bool ok = converged == workload.calls && clean == workload.calls;
+  std::printf("%s: %zu/%zu converged, %zu/%zu clean teardowns\n",
+              ok ? "PASS" : "FAIL", converged, workload.calls, clean,
+              workload.calls);
+  return ok ? 0 : 1;
+}

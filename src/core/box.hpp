@@ -115,6 +115,14 @@ class Box {
   [[nodiscard]] bool isOpened(SlotId s) const { return slotState(s) == ProtocolState::opened; }
   [[nodiscard]] bool isFlowing(SlotId s) const { return slotState(s) == ProtocolState::flowing; }
 
+  // Live-resource counts, for leak auditing: after a call's channels are
+  // torn down, every box that served it must be back to zero slots and zero
+  // goals (single goals + flowlinks). The load runtime checks this per call.
+  [[nodiscard]] std::size_t slotCount() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t goalCount() const noexcept {
+    return single_goals_.size() + links_.size();
+  }
+
   // ------------------------------------------------- runtime entry points
   // Virtual so that bench_ablation's naive-forwarding box (the paper's
   // Fig. 2 pathology model) can bypass the goal machinery entirely.

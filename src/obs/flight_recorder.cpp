@@ -14,6 +14,7 @@ namespace cmc::obs {
 namespace {
 
 std::atomic<FlightRecorder*> g_flight{nullptr};
+thread_local FlightRecorder* t_flight = nullptr;
 
 // Reasons become part of the filename; keep them filesystem-safe.
 std::string slugify(std::string_view reason) {
@@ -131,11 +132,16 @@ std::string FlightRecorder::lastPath() const {
 }
 
 FlightRecorder* flightRecorder() noexcept {
+  if (t_flight != nullptr) return t_flight;
   return g_flight.load(std::memory_order_relaxed);
 }
 
 void setFlightRecorder(FlightRecorder* recorder) noexcept {
   g_flight.store(recorder, std::memory_order_release);
+}
+
+void setThreadFlightRecorder(FlightRecorder* recorder) noexcept {
+  t_flight = recorder;
 }
 
 bool flightAssert(bool ok, std::string_view what) {

@@ -70,8 +70,14 @@ class FlightRecorder {
 };
 
 // Process-wide recorder; nullptr (default) disables all triggers.
+// flightRecorder() resolves a thread-local override first
+// (setThreadFlightRecorder): in a sharded runtime every worker thread runs
+// its own simulation, and a probe blowing its deadline on shard k must dump
+// shard k's trace window and probes — not whichever recorder another
+// thread installed process-wide. See the matching note in trace.hpp.
 [[nodiscard]] FlightRecorder* flightRecorder() noexcept;
 void setFlightRecorder(FlightRecorder* recorder) noexcept;
+void setThreadFlightRecorder(FlightRecorder* recorder) noexcept;
 
 // Check-and-dump helper for tests and harnesses: returns `ok`, and on
 // false dumps a post-mortem tagged `what` to the installed recorder.

@@ -9,6 +9,7 @@ namespace cmc::obs {
 namespace {
 
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
+thread_local MetricsRegistry* t_metrics = nullptr;
 
 // Bucket index: 0 holds value 0, i holds [2^(i-1), 2^i).
 std::size_t bucketOf(std::int64_t value) noexcept {
@@ -40,6 +41,20 @@ void Histogram::observe(std::int64_t value) noexcept {
   lowerMin(min_, value);
   raiseMax(max_, value);
   buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::mergeFrom(const Histogram& other) noexcept {
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  lowerMin(min_, other.min_.load(std::memory_order_relaxed));
+  raiseMax(max_, other.max_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t b = other.buckets_[i].load(std::memory_order_relaxed);
+    if (b != 0) buckets_[i].fetch_add(b, std::memory_order_relaxed);
+  }
 }
 
 std::int64_t Histogram::min() const noexcept {
@@ -175,6 +190,28 @@ std::string MetricsRegistry::json() const {
   return out;
 }
 
+void MetricsRegistry::mergeAdditiveFrom(const MetricsRegistry& other) {
+  // Lock ordering: `other` first, snapshotless — both locks are leaf-level
+  // and rollups only ever merge worker registries into one accumulator, so
+  // there is no path that takes them in the opposite order.
+  std::lock_guard<std::mutex> other_lock(other.mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    it->second->add(c->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    it->second->mergeFrom(*h);
+  }
+}
+
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
@@ -183,11 +220,16 @@ void MetricsRegistry::clear() {
 }
 
 MetricsRegistry* metrics() noexcept {
+  if (t_metrics != nullptr) return t_metrics;
   return g_metrics.load(std::memory_order_relaxed);
 }
 
 void setMetrics(MetricsRegistry* registry) noexcept {
   g_metrics.store(registry, std::memory_order_release);
+}
+
+void setThreadMetrics(MetricsRegistry* registry) noexcept {
+  t_metrics = registry;
 }
 
 }  // namespace cmc::obs

@@ -78,6 +78,12 @@ class Histogram {
 
   void observe(std::int64_t value) noexcept;
 
+  // Fold `other`'s observations into this histogram (bucket-wise sums plus
+  // count/sum/min/max). Exact for everything but the interpolated
+  // quantiles, which stay as coarse as single-registry estimates. Used by
+  // sharded runtimes to roll per-shard latency histograms into one view.
+  void mergeFrom(const Histogram& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -114,6 +120,13 @@ class MetricsRegistry {
   // Keys are sorted (std::map), so the dump is deterministic.
   [[nodiscard]] std::string json() const;
 
+  // Merge the additive metrics of `other` into this registry: counters add,
+  // histograms merge bucket-wise. Gauges are instantaneous, host-local
+  // readings (queue depth, armed probes); summing last-written values
+  // across shards is meaningless, so they are deliberately left out — which
+  // also keeps a sharded rollup invariant in the shard count.
+  void mergeAdditiveFrom(const MetricsRegistry& other);
+
   void clear();
 
  private:
@@ -124,7 +137,11 @@ class MetricsRegistry {
 };
 
 // Process-wide registry; nullptr (default) disables metric collection.
+// metrics() resolves a thread-local override first (setThreadMetrics), so
+// sharded hosts can give each worker thread its own registry without the
+// shards trampling one another; see the matching note in trace.hpp.
 [[nodiscard]] MetricsRegistry* metrics() noexcept;
 void setMetrics(MetricsRegistry* registry) noexcept;
+void setThreadMetrics(MetricsRegistry* registry) noexcept;
 
 }  // namespace cmc::obs

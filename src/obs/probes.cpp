@@ -61,6 +61,15 @@ std::size_t ConvergenceProbes::check(std::int64_t now_us) {
   return fired;
 }
 
+bool ConvergenceProbes::disarm(const std::string& name) {
+  for (std::size_t i = 0; i < armed_.size(); ++i) {
+    if (armed_[i].name != name) continue;
+    armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
 std::optional<std::int64_t> ConvergenceProbes::latencyUs(
     const std::string& name) const {
   auto it = results_.find(name);

@@ -12,7 +12,12 @@
 //
 // Predicates run only while at least one probe is armed, so an idle probe
 // set costs one `empty()` check per stimulus. Probes are owned by a single
-// simulation thread; they are not thread-safe by design.
+// simulation thread; they are not thread-safe by design. All timestamps —
+// arm instants and watchdog deadlines — are in the hosting loop's virtual
+// time, and the deadline path resolves the flight recorder through
+// obs::flightRecorder(), which honors the calling thread's override: in a
+// sharded runtime a deadline miss therefore dumps the shard that armed the
+// probe, never a sibling shard's recorder.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +51,13 @@ class ConvergenceProbes {
   // converged in this call.
   std::size_t check(std::int64_t now_us);
 
+  // Drop the armed probe named `name` without recording a result either
+  // way. Returns true if it was armed. Call-churn hosts disarm a call's
+  // setup probe at teardown: once the call's boxes close, its quiescence
+  // predicate can never hold, and an abandoned probe would be re-evaluated
+  // on every later stimulus for the life of the shard.
+  bool disarm(const std::string& name);
+
   // Called for every probe that blows its deadline, after the flight-
   // recorder dump; hosts use it to abort or log.
   void setOnFailure(FailureHandler handler) { on_failure_ = std::move(handler); }
@@ -64,6 +76,13 @@ class ConvergenceProbes {
   [[nodiscard]] std::optional<std::int64_t> latencyUs(const std::string& name) const;
 
   [[nodiscard]] const Histogram* histogram(const std::string& bucket) const;
+  // All bucket histograms, for cross-shard aggregation (Histogram::
+  // mergeFrom). Keys are bucket names; the map is stable while no probe
+  // converges, so snapshot after the hosting loop has drained.
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
 
   // {"<bucket>":{count,...}, ...} — per-bucket latency histograms (µs).
   [[nodiscard]] std::string json() const;

@@ -9,6 +9,7 @@ namespace cmc::obs {
 namespace {
 
 std::atomic<TraceRecorder*> g_recorder{nullptr};
+thread_local TraceRecorder* t_recorder = nullptr;
 thread_local const std::string* t_actor = nullptr;
 thread_local TraceContext t_context{};
 
@@ -306,11 +307,16 @@ std::string TraceRecorder::chromeTraceJson() const {
 }
 
 TraceRecorder* recorder() noexcept {
+  if (t_recorder != nullptr) return t_recorder;
   return g_recorder.load(std::memory_order_relaxed);
 }
 
 void setRecorder(TraceRecorder* recorder) noexcept {
   g_recorder.store(recorder, std::memory_order_release);
+}
+
+void setThreadRecorder(TraceRecorder* recorder) noexcept {
+  t_recorder = recorder;
 }
 
 std::string_view currentActor() noexcept {

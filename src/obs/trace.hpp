@@ -139,8 +139,17 @@ class TraceRecorder {
 // ------------------------------------------------------- global installation
 // The process-wide recorder used by instrumentation sites. nullptr (the
 // default) disables all recording at the cost of one relaxed load.
+//
+// Sharded hosts (src/load) run one simulation per worker thread; a single
+// process-wide recorder would interleave their events. A thread may
+// therefore install its own recorder with setThreadRecorder(): recorder()
+// resolves the thread-local override first and falls back to the process-
+// wide pointer, so single-threaded hosts are unaffected. The override is
+// plain thread-local state — the installing thread must clear it (pass
+// nullptr) before the recorder dies.
 [[nodiscard]] TraceRecorder* recorder() noexcept;
 void setRecorder(TraceRecorder* recorder) noexcept;
+void setThreadRecorder(TraceRecorder* recorder) noexcept;
 
 // -------------------------------------------------------------- actor scope
 // Some instrumentation sites (SlotEndpoint, FlowLink) are value types with

@@ -54,6 +54,11 @@ class EventLoop {
   // (idle); false if it stopped at the horizon with work left. The horizon
   // is relative to now(): each call grants `horizon` more virtual time, so
   // repeated calls keep making progress after the first horizon expires.
+  // Everything here — now_, the horizon limit, the queue — is instance
+  // state: a process may run one loop per shard and each keeps its own
+  // virtual clock. (When the horizon expires, now_ stays at the last
+  // executed event rather than jumping to the limit, so the caller's next
+  // grant resumes exactly where this one stopped.)
   bool runUntilIdle(SimDuration horizon = std::chrono::seconds(600)) {
     const SimTime limit = now_ + horizon;
     while (!queue_.empty()) {

@@ -76,6 +76,11 @@ class FaultPlan {
  public:
   explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {})
       : seed_(seed), spec_(std::move(spec)), rng_(seed) {}
+  // decide() and activeAt() are virtual so that composite plans can route
+  // per-signal decisions to sub-plans — the sharded load runtime gives
+  // every call its own seeded plan (src/load/fault_router.hpp), keeping
+  // each call's fault stream independent of what else shares its shard.
+  virtual ~FaultPlan() = default;
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
@@ -94,15 +99,16 @@ class FaultPlan {
 
   void addBurst(BurstWindow burst) { bursts_.push_back(std::move(burst)); }
 
-  [[nodiscard]] bool activeAt(SimTime now) const noexcept {
+  [[nodiscard]] virtual bool activeAt(SimTime now) const noexcept {
     return spec_.active_for.count() == 0 || now.sinceStart() < spec_.active_for;
   }
 
   // Decide the fate of one signal from `from` to `to` emitted at `now`.
   // Consumes this plan's Rng stream; with a deterministic event loop the
   // call sequence — and thus every decision — replays exactly per seed.
-  [[nodiscard]] FaultDecision decide(const std::string& from,
-                                     const std::string& to, SimTime now);
+  [[nodiscard]] virtual FaultDecision decide(const std::string& from,
+                                             const std::string& to,
+                                             SimTime now);
 
   struct Counters {
     std::uint64_t considered = 0;  // signals emitted while plan installed

@@ -404,6 +404,13 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
       for (std::uint32_t t = 0; t < r.tunnels; ++t) {
         routes_[{callee.name(), r.slotsB[t]}] = Route{id, t, false};
       }
+      // Materialization mutates box state (slots appear, goals may attach
+      // in the incoming-channel hook) outside any stimulus, so re-evaluate
+      // probes here: a quiescence predicate that flips at this instant must
+      // record this instant, not whichever unrelated stimulus happens to
+      // complete next — under concurrent call load the gap would make probe
+      // latencies depend on what else shares the event loop.
+      if (!probes_.empty()) probes_.check(nowUs());
       // Drain hook outputs after processing cost; causally the callee's
       // reaction descends from the stimulus that requested the channel.
       stimulate(callee, []() {}, cause);

@@ -1,0 +1,163 @@
+// Reusable wire-level protocol conformance oracle (Figs. 5 and 10).
+//
+// The Fig. 10 scenario test originally hard-coded its legality checks; this
+// header promotes them into an oracle any suite can run over any observed
+// signal sequence — the hand-pumped Fig. 10 wires, or per-tunnel traces
+// captured from the sharded load runtime. The oracle checks the protocol's
+// kind-level rules, the ones visible without payload access:
+//
+//   * open  only leaves a closed sender (Fig. 5: closed → opening);
+//   * oack  must answer an outstanding open from the peer (and moves both
+//           ends toward flowing);
+//   * describe only flows on an established (flowing) sender;
+//   * select must answer a descriptor the peer has actually sent (open,
+//           oack and describe all carry one; a re-select answering the same
+//           descriptor is legal, Fig. 10's codec change);
+//   * close is legal from any state (teardown, hold answer, or open
+//           refusal) and cancels the peer's outstanding open;
+//   * closeack must answer an outstanding close from the peer.
+//
+// Every rule is of the form "X requires an earlier Y", so any prefix of a
+// legal run is legal: traces truncated by a channel teardown (the load
+// runtime's hang-ups) never produce false violations. finish(true) adds the
+// end-of-run quiescence obligations for complete runs: no close left
+// unacknowledged, no open left unanswered.
+//
+// The oracle is deliberately payload-blind; descriptor/selector pairing by
+// value stays in fig10_conformance_test.cpp, which has the real objects.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace cmc::conformance {
+
+struct Violation {
+  std::size_t index;  // 0-based position in the fed sequence
+  std::string what;
+};
+
+class TunnelOracle {
+ public:
+  // Feed the next signal kind observed on the tunnel ("open", "oack",
+  // "close", "closeack", "describe", "select"); `from_left` names the
+  // sending side (which side is "left" is arbitrary but must be held
+  // consistent for the whole sequence).
+  void feed(bool from_left, std::string_view kind) {
+    const int s = from_left ? 0 : 1;
+    const int p = 1 - s;
+    if (kind == "open") {
+      if (state_[s] != Side::closed) {
+        flag("open while not closed");
+      }
+      state_[s] = Side::opening;
+      ++descriptors_[s];  // open carries the initial descriptor
+    } else if (kind == "oack") {
+      if (state_[p] != Side::opening) {
+        flag("oack without an outstanding open");
+      }
+      state_[p] = Side::flowing;
+      state_[s] = Side::flowing;
+      ++descriptors_[s];  // oack carries the answering side's descriptor
+    } else if (kind == "describe") {
+      if (state_[s] != Side::flowing) {
+        flag("describe on a non-flowing sender");
+      }
+      ++descriptors_[s];
+    } else if (kind == "select") {
+      if (descriptors_[p] == 0) {
+        flag("select with no descriptor to answer");
+      }
+    } else if (kind == "close") {
+      // Legal from any state; an outstanding open from the peer is hereby
+      // refused (Section V's close/open interaction).
+      if (state_[p] == Side::opening) state_[p] = Side::closed;
+      state_[s] = Side::closed;
+      ++unacked_close_[s];
+    } else if (kind == "closeack") {
+      if (unacked_close_[p] == 0) {
+        flag("closeack without an outstanding close");
+      } else {
+        --unacked_close_[p];
+      }
+      state_[s] = Side::closed;
+    } else {
+      flag("unknown signal kind '" + std::string(kind) + "'");
+    }
+    ++fed_;
+  }
+
+  // End-of-sequence obligations. With `expect_quiescent` the run must have
+  // settled completely (Fig. 10 runs to closed/closed); without it only the
+  // prefix-closed rules above apply (truncated load traces).
+  void finish(bool expect_quiescent) {
+    if (!expect_quiescent) return;
+    if (unacked_close_[0] + unacked_close_[1] != 0) {
+      flag("close left unacknowledged at end of run");
+    }
+    if (state_[0] == Side::opening || state_[1] == Side::opening) {
+      flag("open left unanswered at end of run");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t signalsFed() const noexcept { return fed_; }
+
+ private:
+  enum class Side { closed, opening, flowing };
+
+  void flag(std::string what) { violations_.push_back({fed_, std::move(what)}); }
+
+  Side state_[2] = {Side::closed, Side::closed};
+  std::size_t descriptors_[2] = {0, 0};
+  std::size_t unacked_close_[2] = {0, 0};
+  std::size_t fed_ = 0;
+  std::vector<Violation> violations_;
+};
+
+// Run the oracle over every tunnel found in a captured trace (signalRecv
+// events: actor=receiver, aux=sender, v0=channel id, v1=tunnel index).
+// Channel ids are unique within one simulator, so (v0, v1) identifies a
+// tunnel within one shard's trace; events appear in delivery order. The
+// lexicographically smaller box name plays "left". Returns violations
+// prefixed with the tunnel's box pair. Traces end wherever the capture
+// ends, so only the prefix-closed rules are checked (finish(false)).
+inline std::vector<Violation> checkTrace(
+    const std::vector<obs::TraceEvent>& events) {
+  struct Tunnel {
+    std::string left;
+    TunnelOracle oracle;
+    std::string pair;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, Tunnel> tunnels;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.kind != obs::EventKind::signalRecv) continue;
+    auto& tunnel = tunnels[{ev.v0, ev.v1}];
+    if (tunnel.pair.empty()) {
+      tunnel.left = ev.aux < ev.actor ? ev.aux : ev.actor;
+      tunnel.pair = (ev.aux < ev.actor ? ev.aux + "<->" + ev.actor
+                                       : ev.actor + "<->" + ev.aux);
+    }
+    tunnel.oracle.feed(ev.aux == tunnel.left, ev.name);
+  }
+  std::vector<Violation> out;
+  for (auto& [key, tunnel] : tunnels) {
+    tunnel.oracle.finish(/*expect_quiescent=*/false);
+    for (const Violation& v : tunnel.oracle.violations()) {
+      out.push_back({v.index, tunnel.pair + ": " + v.what});
+    }
+  }
+  return out;
+}
+
+}  // namespace cmc::conformance

@@ -10,10 +10,18 @@
 //   R -> select(sel3 answering desc3) -> L
 //   L -> close -> R
 //   R -> closeack -> L
+//
+// The kind-level legality rules extracted from this scenario live in
+// tests/conformance.hpp (TunnelOracle) so that other suites — notably the
+// load tests, which capture traces from thousands of concurrent calls —
+// check the same FSM. This file feeds the oracle alongside its exact
+// sequence and payload assertions, keeping the oracle honest against the
+// canonical run.
 #include <gtest/gtest.h>
 
 #include <deque>
 
+#include "conformance.hpp"
 #include "core/goal.hpp"
 
 namespace cmc {
@@ -43,12 +51,23 @@ class Fig10 : public ::testing::Test {
     for (auto& item : out.take()) {
       wire_.push_back(Wire{true, item.signal});
       trace_.push_back("L>" + std::string(toString(kindOf(item.signal))));
+      oracle_.feed(/*from_left=*/true, toString(kindOf(item.signal)));
     }
   }
   void pumpRight(Outbox&& out) {
     for (auto& item : out.take()) {
       wire_.push_back(Wire{false, item.signal});
       trace_.push_back("R>" + std::string(toString(kindOf(item.signal))));
+      oracle_.feed(/*from_left=*/false, toString(kindOf(item.signal)));
+    }
+  }
+
+  // Every signal this fixture ever put on the wire must satisfy the
+  // kind-level FSM; call at the end of a test.
+  void expectConformant(bool expect_quiescent) {
+    oracle_.finish(expect_quiescent);
+    for (const auto& violation : oracle_.violations()) {
+      ADD_FAILURE() << "signal " << violation.index << ": " << violation.what;
     }
   }
 
@@ -77,6 +96,7 @@ class Fig10 : public ::testing::Test {
   HoldSlotGoal right_;
   std::deque<Wire> wire_;
   std::vector<std::string> trace_;
+  conformance::TunnelOracle oracle_;
 };
 
 TEST_F(Fig10, FullScenarioSignalSequence) {
@@ -131,6 +151,8 @@ TEST_F(Fig10, FullScenarioSignalSequence) {
   EXPECT_EQ(trace_, (std::vector<std::string>{"L>close", "R>closeack"}));
   EXPECT_EQ(left_slot_.state(), ProtocolState::closed);
   EXPECT_EQ(right_slot_.state(), ProtocolState::closed);
+  // The full scenario ran to quiescence; the extracted oracle must agree.
+  expectConformant(/*expect_quiescent=*/true);
 }
 
 TEST_F(Fig10, ConcurrentDescribesDoNotConstrainEachOther) {
@@ -159,6 +181,51 @@ TEST_F(Fig10, ConcurrentDescribesDoNotConstrainEachOther) {
             left_slot_.lastDescriptorSent());
   EXPECT_EQ(right_slot_.lastSelectorReceived()->answersDescriptor,
             right_slot_.lastDescriptorSent());
+  // Still mid-session (flowing), so only the prefix-closed rules apply.
+  expectConformant(/*expect_quiescent=*/false);
+}
+
+// The oracle itself must reject the mistakes it exists to catch.
+TEST(TunnelOracle, FlagsProtocolViolations) {
+  {
+    conformance::TunnelOracle oracle;
+    oracle.feed(true, "oack");  // nothing to answer
+    EXPECT_FALSE(oracle.ok());
+  }
+  {
+    conformance::TunnelOracle oracle;
+    oracle.feed(true, "open");
+    oracle.feed(true, "open");  // double open without an answer
+    EXPECT_FALSE(oracle.ok());
+  }
+  {
+    conformance::TunnelOracle oracle;
+    oracle.feed(false, "closeack");  // no close outstanding
+    EXPECT_FALSE(oracle.ok());
+  }
+  {
+    conformance::TunnelOracle oracle;
+    oracle.feed(true, "select");  // no descriptor ever sent
+    EXPECT_FALSE(oracle.ok());
+  }
+  {
+    conformance::TunnelOracle oracle;
+    oracle.feed(true, "open");
+    oracle.finish(/*expect_quiescent=*/true);  // open left unanswered
+    EXPECT_FALSE(oracle.ok());
+  }
+  {
+    // The close/open refusal loop of Section V is legal.
+    conformance::TunnelOracle oracle;
+    oracle.feed(true, "open");
+    oracle.feed(false, "close");
+    oracle.feed(true, "closeack");
+    oracle.feed(true, "open");
+    oracle.feed(false, "close");
+    oracle.feed(true, "closeack");
+    oracle.finish(/*expect_quiescent=*/true);
+    EXPECT_TRUE(oracle.ok()) << oracle.violations().front().what;
+  }
 }
 
 }  // namespace
