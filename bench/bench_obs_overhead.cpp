@@ -9,16 +9,24 @@
 //   trace        — TraceRecorder attached, causal propagation off (PR-3
 //                  behaviour: events recorded, no context stamping);
 //   propagation  — recorder attached and in-band trace-context propagation
-//                  on (id allocation, thread-local scopes, adoption).
+//                  on (id allocation, thread-local scopes, adoption);
+//   metrics      — MetricsRegistry attached (atomic bumps, no tracing);
+//   sampler      — metrics plus a live sampler thread snapshotting the
+//                  registry every millisecond (the telemetry plane of
+//                  obs/snapshot.hpp) — its cost over plain metrics is the
+//                  price of watching a run live, and must stay ~free.
 //
 // The per-stimulus cost is wall time divided by the stimulus count of the
 // deterministic call (identical across modes by recorder transparency).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "endpoints/user_device.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -27,7 +35,7 @@ namespace {
 using namespace cmc;
 using namespace cmc::literals;
 
-enum class Mode { off, trace, propagation };
+enum class Mode { off, trace, propagation, metrics, sampler };
 
 void runCall(std::uint64_t seed, obs::TraceRecorder* rec,
              obs::MetricsRegistry* reg) {
@@ -54,10 +62,31 @@ std::uint64_t stimuliPerCall() {
 
 double nsPerStimulus(Mode mode, int reps, std::uint64_t stimuli_per_call) {
   using clock = std::chrono::steady_clock;
+  // The sampler is a long-lived thread in real hosts (one per soak, not one
+  // per call); spawn it once around the whole rep loop so the measurement
+  // captures its steady-state interference, not thread start-up.
+  obs::MetricsRegistry sampled_reg;
+  std::atomic<bool> done{false};
+  obs::SnapshotSeries series(64);
+  std::thread sampler;
+  if (mode == Mode::sampler) {
+    sampler = std::thread([&]() {
+      std::int64_t tick = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        series.push(obs::MetricsSnapshot::capture(sampled_reg, ++tick));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
   const clock::time_point start = clock::now();
   for (int rep = 0; rep < reps; ++rep) {
     if (mode == Mode::off) {
       runCall(static_cast<std::uint64_t>(rep), nullptr, nullptr);
+    } else if (mode == Mode::metrics) {
+      obs::MetricsRegistry reg;
+      runCall(static_cast<std::uint64_t>(rep), nullptr, &reg);
+    } else if (mode == Mode::sampler) {
+      runCall(static_cast<std::uint64_t>(rep), nullptr, &sampled_reg);
     } else {
       obs::TraceRecorder rec;
       if (mode == Mode::propagation) rec.setPropagation(true);
@@ -67,6 +96,10 @@ double nsPerStimulus(Mode mode, int reps, std::uint64_t stimuli_per_call) {
   const double total_ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start)
           .count());
+  if (mode == Mode::sampler) {
+    done.store(true, std::memory_order_relaxed);
+    sampler.join();
+  }
   return total_ns / (static_cast<double>(reps) *
                      static_cast<double>(stimuli_per_call));
 }
@@ -92,6 +125,8 @@ int main() {
   const double off_ns = nsPerStimulus(Mode::off, kReps, stimuli);
   const double trace_ns = nsPerStimulus(Mode::trace, kReps, stimuli);
   const double prop_ns = nsPerStimulus(Mode::propagation, kReps, stimuli);
+  const double metrics_ns = nsPerStimulus(Mode::metrics, kReps, stimuli);
+  const double sampler_ns = nsPerStimulus(Mode::sampler, kReps, stimuli);
 
   std::printf("  %-22s %-18s %-18s\n", "mode", "ns/stimulus", "vs off");
   std::printf("  %-22s %-18.0f %-18s\n", "off", off_ns, "1.00x");
@@ -99,20 +134,31 @@ int main() {
               off_ns > 0 ? trace_ns / off_ns : 0.0);
   std::printf("  %-22s %-18.0f %.2fx\n", "trace+propagation", prop_ns,
               off_ns > 0 ? prop_ns / off_ns : 0.0);
+  std::printf("  %-22s %-18.0f %.2fx\n", "metrics", metrics_ns,
+              off_ns > 0 ? metrics_ns / off_ns : 0.0);
+  std::printf("  %-22s %-18.0f %.2fx\n", "metrics+sampler", sampler_ns,
+              off_ns > 0 ? sampler_ns / off_ns : 0.0);
   bench::note(
       "per-stimulus wall cost of the two-phone call; stimulus count is "
-      "identical across modes by recorder transparency");
+      "identical across modes by recorder transparency. The sampler row is "
+      "the live telemetry plane: a 1ms-period snapshot thread reading the "
+      "registry while the call runs — its delta over the metrics row is "
+      "what watching a run live costs the hot path");
 
-  char json[512];
+  char json[640];
   std::snprintf(json, sizeof(json),
                 "{\"stimuli_per_call\":%llu,\"reps\":%d,\"off_ns\":%.0f,"
                 "\"trace_ns\":%.0f,\"propagation_ns\":%.0f,"
-                "\"trace_overhead_ns\":%.0f,\"propagation_overhead_ns\":%.0f}",
+                "\"metrics_ns\":%.0f,\"sampler_ns\":%.0f,"
+                "\"trace_overhead_ns\":%.0f,\"propagation_overhead_ns\":%.0f,"
+                "\"sampler_overhead_ns\":%.0f}",
                 static_cast<unsigned long long>(stimuli), kReps, off_ns,
-                trace_ns, prop_ns, trace_ns - off_ns, prop_ns - off_ns);
+                trace_ns, prop_ns, metrics_ns, sampler_ns, trace_ns - off_ns,
+                prop_ns - off_ns, sampler_ns - metrics_ns);
   bench::jsonLine("OBS_OVERHEAD", json);
 
-  const bool ok = off_ns > 0 && trace_ns > 0 && prop_ns > 0;
+  const bool ok = off_ns > 0 && trace_ns > 0 && prop_ns > 0 &&
+                  metrics_ns > 0 && sampler_ns > 0;
   bench::verdict(ok, "tracing modes measured; see OBS_OVERHEAD line");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,135 @@
+// cmc_top: live view of a sharded load run, top(1)-style.
+//
+//   cmc_top --port P [--host 127.0.0.1] [--interval-ms 500] [--once]
+//
+// Connects to the ops endpoint a load host exposes (e.g.
+// `load_soak --ops-port 0`) and renders a refreshing per-shard table —
+// arrivals, teardowns, armed probes, windowed setup p50/p99, fault and
+// trace-drop counters — plus the SLO health line. The endpoint's `shards`
+// and `health` verbs are line-oriented key=value records precisely so this
+// tool (and shell scripts) need no JSON parser.
+//
+// Exits 0 when the watched run finishes healthy, 1 when it finished with a
+// breached SLO, 2 on usage/connection errors. --once prints a single frame
+// (no screen clearing) — handy in CI logs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/ops_server.hpp"
+
+using namespace cmc;
+
+namespace {
+
+// Pull "key=value" out of a line of the shards/health exposition.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  pos += needle.size();
+  const std::size_t end = line.find(' ', pos);
+  return line.substr(pos, end == std::string::npos ? std::string::npos
+                                                   : end - pos);
+}
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  long interval_ms = 500;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      host = next();
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0) {
+      interval_ms = std::strtol(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "usage: cmc_top --port P [--host H] [--interval-ms MS] "
+                 "[--once]\n");
+    return 2;
+  }
+
+  auto client = obs::OpsClient::connect(host, static_cast<std::uint16_t>(port));
+  if (client == nullptr) {
+    std::fprintf(stderr, "cmc_top: cannot connect to %s:%d\n", host.c_str(),
+                 port);
+    return 2;
+  }
+
+  bool saw_final = false;
+  bool breached = false;
+  while (true) {
+    auto health = client->request("health");
+    auto shards = client->request("shards");
+    if (!health || !shards) {
+      // Host went away: report what we last knew.
+      std::printf("cmc_top: host closed the connection\n");
+      break;
+    }
+
+    if (!once) std::printf("\033[2J\033[H");  // clear + home
+    const std::vector<std::string> hlines = lines(health->body);
+    const std::string& status = hlines.empty() ? std::string{} : hlines[0];
+    std::printf("cmc_top — %s:%d   %s\n", host.c_str(), port, status.c_str());
+    std::printf("%-6s %9s %10s %6s %11s %12s %12s %7s %8s\n", "shard",
+                "arrivals", "teardowns", "armed", "arriv/s", "p50(us)",
+                "p99(us)", "faults", "trdrop");
+    for (const std::string& line : lines(shards->body)) {
+      std::printf("%-6s %9s %10s %6s %11s %12s %12s %7s %8s\n",
+                  field(line, "shard").c_str(),
+                  field(line, "arrivals").c_str(),
+                  field(line, "teardowns").c_str(),
+                  field(line, "armed").c_str(),
+                  field(line, "arrivals_per_s").c_str(),
+                  field(line, "setup_p50_us").c_str(),
+                  field(line, "setup_p99_us").c_str(),
+                  field(line, "faults").c_str(),
+                  field(line, "trace_dropped").c_str());
+    }
+    for (std::size_t i = 1; i < hlines.size(); ++i) {
+      std::printf("%s\n", hlines[i].c_str());
+    }
+    std::fflush(stdout);
+
+    breached = field(status, "ever_breached") == "1";
+    saw_final = field(status, "final") == "1";
+    if (once || saw_final) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return breached ? 1 : 0;
+}

@@ -2,6 +2,8 @@
 //
 //   load_soak [--calls N] [--shards N] [--rate CALLS_PER_S]
 //             [--duration SIM_SECONDS] [--faults FRACTION] [--seed S]
+//             [--ops-port P] [--sample-ms MS] [--ops-linger MS]
+//             [--slo-setup-p99-us US] [--flight-dir DIR]
 //
 // Either --calls fixes the call count directly, or --duration derives it
 // from the arrival rate (duration * rate). Prints per-shard stats, the
@@ -9,6 +11,17 @@
 // its §V rest state and tear down leak-free (under faults, convergence is
 // still required — the windows close before hang-up and stabilization must
 // recover every call). CI runs this under tsan as the load-smoke job.
+//
+// --ops-port turns on the live telemetry plane (0 = auto-pick, printed as
+// "ops: serving on 127.0.0.1:<port>"): a sampler snapshots every shard
+// registry each --sample-ms and serves JSON / Prometheus / windowed series /
+// health over framed TCP (watch with cmc_top). A live progress line is
+// printed per tick. --slo-setup-p99-us arms a windowed-p99 SLO on call
+// setup (default bound: the §VIII-C law for the longest path); breaches
+// flip health to degraded and, with --flight-dir, dump a post-mortem
+// without stopping the run. The plane is strictly read-only: outcomes and
+// the final "metrics:" rollup line are byte-identical with it on or off
+// (the ops-smoke CI job asserts exactly that).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +29,7 @@
 
 #include "load/sharded_runtime.hpp"
 #include "load/workload.hpp"
+#include "obs/slo.hpp"
 
 using namespace cmc;
 
@@ -30,6 +44,8 @@ int main(int argc, char** argv) {
   config.shards = 4;
 
   double duration_s = 0.0;
+  bool ops_on = false;
+  double slo_setup_p99_us = -1.0;  // <0: no SLO; 0: paper-law default
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -50,6 +66,17 @@ int main(int argc, char** argv) {
       workload.fault_fraction = std::strtod(next(), nullptr);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       workload.master_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ops-port") == 0) {
+      config.ops_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+      ops_on = true;
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0) {
+      config.sample_ms = std::strtol(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ops-linger") == 0) {
+      config.ops_linger_ms = std::strtol(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--slo-setup-p99-us") == 0) {
+      slo_setup_p99_us = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0) {
+      config.flight_dir = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -65,7 +92,41 @@ int main(int argc, char** argv) {
               workload.fault_fraction,
               static_cast<unsigned long long>(workload.master_seed));
 
+  if (slo_setup_p99_us >= 0.0) {
+    obs::SloRule rule;
+    rule.name = "setup_p99";
+    rule.histogram = "probe.call_setup_us";
+    rule.quantile = 0.99;
+    // Default bound: the §VIII-C law for the longest generated path (a
+    // relayed call, p = 2 hops) under the configured timing model.
+    rule.max_value =
+        slo_setup_p99_us > 0.0
+            ? slo_setup_p99_us
+            : static_cast<double>(obs::latencyLawUs(
+                  2, config.timing.network.count(),
+                  config.timing.processing.count()));
+    rule.min_count = 5;
+    config.slos.push_back(rule);
+  }
+  if (ops_on) {
+    config.on_sample = [](const load::TelemetryTick& tick) {
+      std::printf("  tick %llu: arrivals=%llu teardowns=%llu armed=%lld "
+                  "setup_p99_us=%.0f health=%s\n",
+                  static_cast<unsigned long long>(tick.index),
+                  static_cast<unsigned long long>(tick.arrivals),
+                  static_cast<unsigned long long>(tick.teardowns),
+                  static_cast<long long>(tick.armed_probes), tick.setup_p99_us,
+                  tick.healthy ? "ok" : "degraded");
+      std::fflush(stdout);
+    };
+  }
+
   load::ShardedRuntime runtime(config);
+  if (ops_on) {
+    std::printf("ops: serving on 127.0.0.1:%u\n",
+                static_cast<unsigned>(runtime.opsPort()));
+    std::fflush(stdout);
+  }
   runtime.run(workload);
 
   for (std::size_t i = 0; i < runtime.shardStats().size(); ++i) {
@@ -88,6 +149,12 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(workload.calls) / runtime.wallSeconds()
                   : 0.0);
   std::printf("metrics: %s\n", runtime.metricsJson().c_str());
+  if (const load::LiveTelemetry* live = runtime.telemetry()) {
+    std::printf("slo: %s (%llu breaches, %llu dumps)\n",
+                live->everBreached() ? "breached" : "ok",
+                static_cast<unsigned long long>(live->breaches()),
+                static_cast<unsigned long long>(live->sloDumps()));
+  }
 
   const std::size_t converged = runtime.convergedCount();
   const std::size_t clean = runtime.cleanTeardownCount();

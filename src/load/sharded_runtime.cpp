@@ -70,6 +70,20 @@ struct ShardedRuntime::ShardState {
 
 ShardedRuntime::ShardedRuntime(LoadConfig config) : config_(std::move(config)) {
   if (config_.shards == 0) config_.shards = 1;
+  if (config_.ops_port >= 0 || !config_.slos.empty() || config_.on_sample) {
+    LiveTelemetry::Config live;
+    live.ops_port = config_.ops_port;
+    live.sample_ms = config_.sample_ms;
+    live.series_capacity = config_.series_capacity;
+    live.slos = config_.slos;
+    live.flight_dir = config_.flight_dir;
+    live.on_sample = config_.on_sample;
+    live_ = std::make_unique<LiveTelemetry>(std::move(live));
+    if (!live_->ok()) {
+      throw std::runtime_error("ops endpoint failed to bind port " +
+                               std::to_string(config_.ops_port));
+    }
+  }
 }
 
 ShardedRuntime::~ShardedRuntime() = default;
@@ -110,6 +124,13 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
     shards[call.id % config_.shards]->calls.push_back(call);
   }
 
+  if (live_ != nullptr) {
+    std::vector<const obs::MetricsRegistry*> registries;
+    registries.reserve(shards.size());
+    for (auto& shard : shards) registries.push_back(&shard->metrics);
+    live_->attach(std::move(registries));
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(config_.shards);
@@ -126,6 +147,11 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
   wall_seconds_ = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
+
+  // Close the live plane while the shard registries are still alive: one
+  // final window, then the sampler drops its borrowed pointers. The ops
+  // endpoint keeps serving the retained snapshots.
+  if (live_ != nullptr) live_->finish();
 
   // Merge in shard-index order so the rollup is deterministic.
   for (auto& shard : shards) {
@@ -147,6 +173,11 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
             [](const CallOutcome& a, const CallOutcome& b) {
               return a.spec.id < b.spec.id;
             });
+
+  if (live_ != nullptr && config_.ops_linger_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.ops_linger_ms));
+  }
 }
 
 void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
@@ -191,7 +222,14 @@ void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
       call.outcome.shard = shard.index;
       const std::string probe = call.spec.probeName();
 
-      sim.loop().scheduleAt(call.spec.arrival, [this, &sim, &call, probe]() {
+      sim.loop().scheduleAt(call.spec.arrival, [this, &sim, &shard, &call,
+                                                probe]() {
+        // Live lifecycle metrics, written unconditionally (sampler or not)
+        // so the rollup stays byte-identical either way. The gauge is
+        // shard-local (excluded from the rollup); the counters are additive
+        // and shard-count invariant — each call arrives exactly once.
+        shard.metrics.counter("load.call_arrivals").add(1);
+        shard.metrics.gauge("load.armed_probes").add(1);
         auto& left = sim.addBox<LoadEndpointBox>(
             call.spec.leftName(), call.spec.left, PathEnd::left);
         auto& right = sim.addBox<LoadEndpointBox>(
@@ -218,12 +256,14 @@ void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
 
       const SimTime teardown_at =
           call.spec.arrival + config_.setup_grace + call.spec.hold;
-      sim.loop().scheduleAt(teardown_at, [&sim, &call, probe]() {
+      sim.loop().scheduleAt(teardown_at, [&sim, &shard, &call, probe]() {
         // Final verdict for this call's probe (it may be resting right now,
         // or past its watchdog deadline), then retire it: once torn down
         // the predicate can never hold again.
         sim.probes().check(sim.nowUs());
         sim.probes().disarm(probe);
+        shard.metrics.counter("load.call_teardowns").add(1);
+        shard.metrics.gauge("load.armed_probes").add(-1);
         call.torn_down = true;
         sim.inject(call.spec.leftName(), [](Box& box) {
           static_cast<LoadEndpointBox&>(box).hangUp();

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "load/live_telemetry.hpp"
 #include "load/workload.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -69,8 +70,28 @@ struct LoadConfig {
   bool capture_traces = false;
   std::size_t trace_capacity = 1 << 15;
   // Install a per-shard flight recorder dumping into this directory on
-  // probe timeouts ("" = no flight recorder).
+  // probe timeouts ("" = no flight recorder). Also used by the live
+  // telemetry hub for SLO-breach and on-demand dumps.
   std::string flight_dir;
+
+  // ------------------------------------------------- live telemetry plane
+  // All optional and strictly read-only with respect to the run: enabling
+  // any of it cannot change outcomes or the final rollup (tested).
+  //
+  // <0: no ops endpoint. 0: bind 127.0.0.1 on a free port (see opsPort()).
+  // >0: bind that port. The endpoint is up from construction, so pollers
+  // can connect before run() and watch the whole soak.
+  int ops_port = -1;
+  // Sampler period (wall-clock ms) and how many windows each series keeps.
+  std::int64_t sample_ms = 250;
+  std::size_t series_capacity = 240;
+  // SLO watchdogs evaluated against each merged window.
+  std::vector<obs::SloRule> slos;
+  // Invoked after every sampler tick (sampler thread, no hub lock held).
+  std::function<void(const TelemetryTick&)> on_sample;
+  // Keep serving the drained run's state for this long at the end of run()
+  // (gives out-of-process pollers a window to take their last reading).
+  std::int64_t ops_linger_ms = 0;
 };
 
 // What happened to one call.
@@ -149,6 +170,17 @@ class ShardedRuntime {
 
   [[nodiscard]] const LoadConfig& config() const noexcept { return config_; }
 
+  // Live telemetry hub (nullptr unless the config enabled any of it). The
+  // ops port is bound at construction — before run() — so callers can hand
+  // it to pollers up front.
+  [[nodiscard]] LiveTelemetry* telemetry() noexcept { return live_.get(); }
+  [[nodiscard]] const LiveTelemetry* telemetry() const noexcept {
+    return live_.get();
+  }
+  [[nodiscard]] std::uint16_t opsPort() const noexcept {
+    return live_ != nullptr ? live_->port() : 0;
+  }
+
  private:
   struct ShardState;
 
@@ -156,6 +188,7 @@ class ShardedRuntime {
                 SimTime fault_horizon);
 
   LoadConfig config_;
+  std::unique_ptr<LiveTelemetry> live_;
   bool ran_ = false;
   std::vector<CallOutcome> outcomes_;
   std::vector<ShardStats> shard_stats_;

@@ -115,4 +115,83 @@ class FrameDecoder {
   std::uint64_t corrupt_frames_ = 0;
 };
 
+// ---------------------------------------------------------------- raw frames
+// The same [length u32][checksum u32][body] header carries protocols other
+// than ChannelMessage: the read-only ops/telemetry plane (obs/ops_server)
+// frames opaque request/response byte bodies. Semantics match FrameDecoder:
+// a checksum mismatch discards the frame as if the network lost it, a
+// hostile length poisons the stream.
+
+[[nodiscard]] inline std::vector<std::uint8_t> encodeRawFrame(
+    const std::uint8_t* body, std::size_t size) {
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(size));
+  frame.u32(frameChecksum(body, size));
+  std::vector<std::uint8_t> out = frame.take();
+  out.insert(out.end(), body, body + size);
+  return out;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> encodeRawFrame(
+    const std::vector<std::uint8_t>& body) {
+  return encodeRawFrame(body.data(), body.size());
+}
+
+// Incremental decoder for raw-body frames: feed arbitrary byte chunks, pop
+// whole bodies. Corrupt frames are skipped and counted; an absurd length
+// marks the stream poisoned (error()) — the connection should be dropped.
+class RawFrameDecoder {
+ public:
+  static constexpr std::uint32_t kMaxFrame = FrameDecoder::kMaxFrame;
+
+  void feed(const std::uint8_t* data, std::size_t size) {
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next() {
+    while (!error_ && buffer_.size() >= kHeaderSize) {
+      const std::uint32_t length = readU32(0);
+      const std::uint32_t checksum = readU32(4);
+      if (length > kMaxFrame) {
+        error_ = true;
+        return std::nullopt;
+      }
+      if (buffer_.size() < kHeaderSize + static_cast<std::size_t>(length)) {
+        return std::nullopt;
+      }
+      const std::uint8_t* body = buffer_.data() + kHeaderSize;
+      if (frameChecksum(body, length) != checksum) {
+        buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderSize + length);
+        ++corrupt_frames_;
+        continue;
+      }
+      std::vector<std::uint8_t> out(body, body + length);
+      buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderSize + length);
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t corruptFrames() const noexcept {
+    return corrupt_frames_;
+  }
+
+ private:
+  static constexpr std::size_t kHeaderSize = 8;
+
+  [[nodiscard]] std::uint32_t readU32(std::size_t offset) const noexcept {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(buffer_[offset + i]) << (8 * i);
+    }
+    return value;
+  }
+
+  std::vector<std::uint8_t> buffer_;
+  bool error_ = false;
+  std::uint64_t corrupt_frames_ = 0;
+};
+
 }  // namespace cmc::net

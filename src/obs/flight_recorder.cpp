@@ -87,6 +87,9 @@ std::string FlightRecorder::dump(std::string_view reason) {
     std::snprintf(buf, sizeof(buf), ",\"events_dropped\":%llu",
                   static_cast<unsigned long long>(trace_->dropped()));
     body += buf;
+    std::snprintf(buf, sizeof(buf), ",\"events_capacity\":%zu",
+                  trace_->capacity());
+    body += buf;
     body += ",\"critical_path\":";
     body += criticalPath(window).json();
     body += ",\"trace\":";

@@ -57,6 +57,21 @@ void Histogram::mergeFrom(const Histogram& other) noexcept {
   }
 }
 
+void Histogram::accumulate(
+    std::uint64_t count, std::int64_t sum, std::int64_t min, std::int64_t max,
+    const std::array<std::uint64_t, kBuckets>& buckets) noexcept {
+  if (count == 0) return;
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  if (min <= max) {
+    lowerMin(min_, min);
+    raiseMax(max_, max);
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] != 0) buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+}
+
 std::int64_t Histogram::min() const noexcept {
   const std::int64_t v = min_.load(std::memory_order_relaxed);
   return v == std::numeric_limits<std::int64_t>::max() ? 0 : v;
@@ -166,10 +181,7 @@ std::string MetricsRegistry::json() const {
     key(name);
     std::snprintf(buf, sizeof(buf), "{\"value\":%lld,\"max\":%lld}",
                   static_cast<long long>(g->value()),
-                  static_cast<long long>(
-                      g->max() == std::numeric_limits<std::int64_t>::min()
-                          ? g->value()
-                          : g->max()));
+                  static_cast<long long>(g->max()));
     out += buf;
   }
   out += "},\"histograms\":{";
@@ -188,6 +200,23 @@ std::string MetricsRegistry::json() const {
   }
   out += "}}";
   return out;
+}
+
+void MetricsRegistry::visit(
+    const std::function<void(const std::string&, const Counter&)>& counter,
+    const std::function<void(const std::string&, const Gauge&)>& gauge,
+    const std::function<void(const std::string&, const Histogram&)>& histogram)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counter) {
+    for (const auto& [name, c] : counters_) counter(name, *c);
+  }
+  if (gauge) {
+    for (const auto& [name, g] : gauges_) gauge(name, *g);
+  }
+  if (histogram) {
+    for (const auto& [name, h] : histograms_) histogram(name, *h);
+  }
 }
 
 void MetricsRegistry::mergeAdditiveFrom(const MetricsRegistry& other) {

@@ -17,6 +17,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -64,7 +65,12 @@ class Gauge {
     return value_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t max() const noexcept {
-    return max_.load(std::memory_order_relaxed);
+    // A created-but-never-set gauge holds the INT64_MIN sentinel; surface
+    // the current value (0 for an untouched gauge) instead, mirroring
+    // Histogram::max(), so dumps and the Prometheus exposition never emit
+    // the sentinel.
+    const std::int64_t v = max_.load(std::memory_order_relaxed);
+    return v == std::numeric_limits<std::int64_t>::min() ? value() : v;
   }
 
  private:
@@ -84,6 +90,14 @@ class Histogram {
   // sharded runtimes to roll per-shard latency histograms into one view.
   void mergeFrom(const Histogram& other) noexcept;
 
+  // Fold pre-aggregated state (a MetricsSnapshot sample, a remote shard's
+  // exported buckets) into this histogram. The no-observation sentinel
+  // convention matches min()/max(): pass min > max to say "no min/max
+  // information" and only count/sum/buckets are folded in.
+  void accumulate(std::uint64_t count, std::int64_t sum, std::int64_t min,
+                  std::int64_t max,
+                  const std::array<std::uint64_t, kBuckets>& buckets) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -95,6 +109,10 @@ class Histogram {
   [[nodiscard]] double mean() const noexcept;
   // Quantile estimate in [0,1]; interpolates within the selected bucket.
   [[nodiscard]] double quantile(double q) const noexcept;
+  // Raw bucket count (snapshot capture; index < kBuckets).
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> count_{0};
@@ -119,6 +137,17 @@ class MetricsRegistry {
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   // Keys are sorted (std::map), so the dump is deterministic.
   [[nodiscard]] std::string json() const;
+
+  // Visit every metric in name order under the registry lock. The visited
+  // references are the live atomics — visitors read with relaxed loads and
+  // must not call back into the registry (the lock is held). This is what
+  // MetricsSnapshot::capture uses to read a hot registry without pausing
+  // its writers.
+  void visit(
+      const std::function<void(const std::string&, const Counter&)>& counter,
+      const std::function<void(const std::string&, const Gauge&)>& gauge,
+      const std::function<void(const std::string&, const Histogram&)>& histogram)
+      const;
 
   // Merge the additive metrics of `other` into this registry: counters add,
   // histograms merge bucket-wise. Gauges are instantaneous, host-local

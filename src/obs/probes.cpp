@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace cmc::obs {
@@ -49,6 +50,14 @@ std::size_t ConvergenceProbes::check(std::int64_t now_us) {
     }
     const std::int64_t latency = now_us - probe.start_us;
     histograms_[probe.bucket].observe(latency);
+    // Mirror the observation into the metrics namespace as it happens, so a
+    // live sampler sees per-window setup latency mid-run instead of waiting
+    // for the end-of-run fold. Written unconditionally (sampler or not):
+    // per-call latencies are deterministic, so this keeps the rollup
+    // byte-identical whether or not anyone is watching.
+    if (MetricsRegistry* m = metrics()) {
+      m->histogram("probe." + probe.bucket + "_us").observe(latency);
+    }
     results_[probe.name] = latency;
     if (TraceRecorder* rec = recorder()) {
       rec->record(EventKind::mark, "probe_converged:" + probe.name, /*actor=*/{},

@@ -1,0 +1,75 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+namespace cmc::obs {
+
+SloWatchdog::SloWatchdog(std::vector<SloRule> rules)
+    : rules_(std::move(rules)),
+      last_(rules_.size()),
+      in_breach_(rules_.size(), false) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    last_[i].rule = rules_[i].name;
+    last_[i].bound = rules_[i].max_value;
+  }
+}
+
+const std::vector<SloStatus>& SloWatchdog::evaluate(
+    const MetricsDelta& window) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    SloStatus status;
+    status.rule = rule.name;
+    status.bound = rule.max_value;
+    if (!rule.histogram.empty()) {
+      const HistogramSample* h = window.histogram(rule.histogram);
+      status.samples = h != nullptr ? h->count : 0;
+      if (status.samples < rule.min_count) {
+        // Too few samples to judge; carry the previous verdict so a quiet
+        // window neither clears nor enters a breach.
+        status.value = last_[i].value;
+        status.breached = in_breach_[i];
+        last_[i] = status;
+        continue;
+      }
+      status.value = h->quantile(rule.quantile);
+      status.evaluated = true;
+    } else {
+      status.samples = window.counter(rule.counter);
+      status.value = static_cast<double>(status.samples);
+      status.evaluated = true;
+    }
+    status.breached = status.value > rule.max_value;
+    if (status.breached && !in_breach_[i]) {
+      ever_breached_ = true;
+      ++breaches_;
+      if (on_breach_) on_breach_(status);
+    }
+    in_breach_[i] = status.breached;
+    last_[i] = status;
+  }
+  return last_;
+}
+
+bool SloWatchdog::healthy() const noexcept {
+  for (bool b : in_breach_) {
+    if (b) return false;
+  }
+  return true;
+}
+
+std::string SloWatchdog::statusText() const {
+  std::string out;
+  char buf[160];
+  for (const SloStatus& s : last_) {
+    std::snprintf(buf, sizeof(buf),
+                  "slo %s value=%.1f bound=%.1f samples=%llu breached=%d\n",
+                  s.rule.c_str(), s.value, s.bound,
+                  static_cast<unsigned long long>(s.samples),
+                  s.breached ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cmc::obs

@@ -1,0 +1,99 @@
+// Declarative SLO watchdogs over windowed telemetry (obs/snapshot.hpp).
+//
+// An SloRule names a target in the metrics namespace and a ceiling:
+//
+//   * histogram rules watch a windowed quantile — e.g. the per-window p99
+//     of "probe.call_setup_us" against the paper's §VIII-C latency law
+//     p·n + (p+1)·c (latencyLawUs builds the bound from the timing
+//     constants);
+//   * counter rules watch a per-window increment — e.g. "fault.dropped"
+//     exceeding a ceiling, or any increment at all of a must-stay-zero
+//     counter (probe failures).
+//
+// An SloWatchdog evaluates its rules against each window a sampler closes.
+// Health is derived, never stored by hand: the watchdog is healthy() while
+// no rule is in breach, and the first window that puts a rule into breach
+// fires the on-breach hook exactly once per excursion — that is where the
+// hosting runtime triggers a flight-recorder dump, so the run keeps going
+// while the post-mortem lands on disk. Recovery (a clean window) re-arms
+// the hook; everBreached() stays latched for end-of-run verdicts.
+//
+// The watchdog is driven by one sampler thread and read through the hub's
+// lock; it does no locking of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace cmc::obs {
+
+struct SloRule {
+  std::string name;       // stable label ("setup_p99", "fault_ceiling")
+  // Exactly one of histogram/counter should be set.
+  std::string histogram;  // windowed-quantile source
+  double quantile = 0.99;
+  std::string counter;    // windowed-increment source
+  // Breach when the watched value exceeds max_value (µs for latency
+  // histograms, increments for counters).
+  double max_value = 0.0;
+  // Histogram windows with fewer samples are skipped — a one-call window
+  // says nothing about p99.
+  std::uint64_t min_count = 1;
+};
+
+// The paper's §VIII-C media-setup bound for a p-hop path: p·n + (p+1)·c.
+[[nodiscard]] constexpr std::int64_t latencyLawUs(std::int64_t p,
+                                                  std::int64_t n_us,
+                                                  std::int64_t c_us) noexcept {
+  return p * n_us + (p + 1) * c_us;
+}
+
+struct SloStatus {
+  std::string rule;
+  double value = 0.0;
+  double bound = 0.0;
+  std::uint64_t samples = 0;  // histogram window count / counter increment
+  bool evaluated = false;     // false: window too small, status carried over
+  bool breached = false;
+};
+
+class SloWatchdog {
+ public:
+  using BreachHandler = std::function<void(const SloStatus&)>;
+
+  explicit SloWatchdog(std::vector<SloRule> rules = {});
+
+  void setOnBreach(BreachHandler handler) { on_breach_ = std::move(handler); }
+
+  // Evaluate every rule against one closed window; returns this window's
+  // statuses (also retrievable via last()).
+  const std::vector<SloStatus>& evaluate(const MetricsDelta& window);
+
+  [[nodiscard]] bool healthy() const noexcept;       // no rule in breach now
+  [[nodiscard]] bool everBreached() const noexcept { return ever_breached_; }
+  [[nodiscard]] std::uint64_t breaches() const noexcept { return breaches_; }
+  [[nodiscard]] const std::vector<SloRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] const std::vector<SloStatus>& last() const noexcept {
+    return last_;
+  }
+
+  // One line per rule: "slo <name> value=... bound=... samples=...
+  // breached=0|1" — the ops health verb appends these.
+  [[nodiscard]] std::string statusText() const;
+
+ private:
+  std::vector<SloRule> rules_;
+  std::vector<SloStatus> last_;
+  std::vector<bool> in_breach_;
+  bool ever_breached_ = false;
+  std::uint64_t breaches_ = 0;  // breach-entry transitions
+  BreachHandler on_breach_;
+};
+
+}  // namespace cmc::obs

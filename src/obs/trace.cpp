@@ -4,6 +4,8 @@
 #include <chrono>
 #include <map>
 
+#include "obs/metrics.hpp"
+
 namespace cmc::obs {
 
 namespace {
@@ -83,15 +85,27 @@ void TraceRecorder::record(TraceEvent event) {
     event.trace_id = t_context.trace;
     event.span_id = t_context.span;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (event.ts_us == 0 && event.dur_us == 0) event.ts_us = stamp();
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    ring_[next_] = std::move(event);
-    next_ = (next_ + 1) % capacity_;
+  bool overflowed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (event.ts_us == 0 && event.dur_us == 0) event.ts_us = stamp();
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_] = std::move(event);
+      next_ = (next_ + 1) % capacity_;
+      overflowed = true;
+    }
+    ++total_;
   }
-  ++total_;
+  // Surface ring overflow in the metrics namespace so dashboards see it
+  // without polling the recorder. The counter is created lazily on the
+  // first actual drop, so drop-free runs keep their metrics dump (and the
+  // sharded rollup) byte-identical to pre-telemetry builds. Bumped outside
+  // the ring lock: the registry has its own lock.
+  if (overflowed) {
+    if (MetricsRegistry* m = metrics()) m->counter("trace.dropped").add(1);
+  }
 }
 
 void TraceRecorder::record(EventKind kind, std::string_view name,
@@ -138,6 +152,11 @@ std::uint64_t TraceRecorder::recorded() const noexcept {
 std::uint64_t TraceRecorder::dropped() const noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
 }
 
 void TraceRecorder::clear() {

@@ -96,6 +96,7 @@ class TraceRecorder {
 
   [[nodiscard]] std::uint64_t recorded() const noexcept;  // total ever seen
   [[nodiscard]] std::uint64_t dropped() const noexcept;   // overflowed out
+  [[nodiscard]] std::size_t size() const;                 // buffered now
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 

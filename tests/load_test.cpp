@@ -15,14 +15,19 @@
 //     oracle (tests/conformance.hpp) on every tunnel.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "conformance.hpp"
 #include "load/sharded_runtime.hpp"
 #include "load/workload.hpp"
+#include "obs/ops_server.hpp"
+#include "obs/slo.hpp"
 #include "sim/event_loop.hpp"
 
 namespace cmc::load {
@@ -269,6 +274,157 @@ TEST(Conformance, CapturedLoadTracesSatisfyTheWireOracle) {
     }
   }
   EXPECT_GT(signals_checked, 100u);
+}
+
+// ------------------------------------------------------------ live telemetry
+
+TEST(LiveTelemetry, SamplerOnOffRollupIsByteIdentical) {
+  // The live plane is read-only: running with an ops endpoint, an
+  // aggressive sampler, and SLO watchdogs must leave outcomes and the
+  // final rollup byte-identical to a bare run.
+  const WorkloadSpec workload = smallWorkload(42);
+  LoadConfig off;
+  off.shards = 4;
+  ShardedRuntime bare(off);
+  bare.run(workload);
+
+  LoadConfig on;
+  on.shards = 4;
+  on.ops_port = 0;  // auto-pick
+  on.sample_ms = 1; // hammer the registries as hard as possible
+  obs::SloRule rule;
+  rule.name = "teardown_ceiling";
+  rule.counter = "load.call_teardowns";
+  rule.max_value = 1e9;  // never breaches; evaluation still runs
+  on.slos.push_back(rule);
+  ShardedRuntime live(on);
+  ASSERT_NE(live.telemetry(), nullptr);
+  ASSERT_GT(live.opsPort(), 0);
+  live.run(workload);
+
+  expectSameOutcomes(bare, live);
+  EXPECT_EQ(bare.metricsJson(), live.metricsJson());
+  EXPECT_GE(live.telemetry()->ticks(), 1u);  // at least the final window
+  EXPECT_TRUE(live.telemetry()->healthy());
+  EXPECT_FALSE(live.telemetry()->everBreached());
+}
+
+TEST(LiveTelemetry, OpsEndpointServesMergedStateDuringAndAfterRun) {
+  const WorkloadSpec workload = smallWorkload(17);
+  LoadConfig config;
+  config.shards = 4;
+  config.ops_port = 0;
+  config.sample_ms = 1;
+  // Poll our own endpoint from the sampler callback — this exercises a
+  // live request strictly *during* the run, against a half-built fleet.
+  std::atomic<int> mid_run_polls{0};
+  std::uint16_t port = 0;
+  config.on_sample = [&mid_run_polls, &port](const TelemetryTick&) {
+    auto c = obs::OpsClient::connect("127.0.0.1", port);
+    if (c == nullptr) return;
+    auto health = c->request("health");
+    auto shards = c->request("shards");
+    if (health && health->ok && shards && shards->ok) ++mid_run_polls;
+  };
+  ShardedRuntime runtime(config);
+  port = runtime.opsPort();
+  ASSERT_GT(port, 0);
+
+  // Before the run: the endpoint is up and reports "starting".
+  {
+    auto c = obs::OpsClient::connect("127.0.0.1", port);
+    ASSERT_NE(c, nullptr);
+    auto health = c->request("health");
+    ASSERT_TRUE(health.has_value());
+    EXPECT_TRUE(health->ok);
+    EXPECT_NE(health->body.find("health=starting"), std::string::npos);
+  }
+
+  runtime.run(workload);
+  EXPECT_GE(mid_run_polls.load(), 1);
+
+  // After the run: retained state, all verbs, Prometheus parses-ish.
+  auto c = obs::OpsClient::connect("127.0.0.1", port);
+  ASSERT_NE(c, nullptr);
+  auto metrics = c->request("metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_TRUE(metrics->ok);
+  EXPECT_EQ(metrics->content_type, "application/json");
+  EXPECT_NE(metrics->body.find("\"load.call_arrivals\":60"), std::string::npos);
+  EXPECT_NE(metrics->body.find("\"probe.call_setup_us\""), std::string::npos);
+
+  auto prom = c->request("prom");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_NE(prom->body.find("cmc_load_call_arrivals_total 60"),
+            std::string::npos);
+  EXPECT_NE(prom->body.find("# TYPE cmc_probe_call_setup_us histogram"),
+            std::string::npos);
+
+  auto series = c->request("series", "4");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_NE(series->body.find("\"windows\":["), std::string::npos);
+
+  auto shards = c->request("shards");
+  ASSERT_TRUE(shards.has_value());
+  // All four shards report, and every call arrived and tore down.
+  EXPECT_NE(shards->body.find("shard=3"), std::string::npos);
+
+  auto health = c->request("health");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_NE(health->body.find("health=ok"), std::string::npos);
+  EXPECT_NE(health->body.find("final=1"), std::string::npos);
+}
+
+TEST(LiveTelemetry, SloBreachDegradesHealthAndDumpsWithoutStoppingTheRun) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "cmc_slo_breach_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const WorkloadSpec workload = smallWorkload(42);
+  LoadConfig config;
+  config.shards = 4;
+  config.ops_port = 0;
+  config.sample_ms = 1;
+  config.flight_dir = dir.string();
+  obs::SloRule rule;
+  rule.name = "setup_p99";
+  rule.histogram = "probe.call_setup_us";
+  rule.quantile = 0.99;
+  rule.max_value = 1.0;  // impossible bound: every evaluated window breaches
+  rule.min_count = 1;
+  config.slos.push_back(rule);
+
+  ShardedRuntime runtime(config);
+  runtime.run(workload);
+
+  // The run itself was untouched by the breach...
+  EXPECT_EQ(runtime.convergedCount(), workload.calls);
+  EXPECT_EQ(runtime.cleanTeardownCount(), workload.calls);
+  // ...but the watchdog latched it and the post-mortem landed on disk.
+  ASSERT_NE(runtime.telemetry(), nullptr);
+  EXPECT_TRUE(runtime.telemetry()->everBreached());
+  EXPECT_FALSE(runtime.telemetry()->healthy());
+  EXPECT_GE(runtime.telemetry()->sloDumps(), 1u);
+  const std::string dump = runtime.telemetry()->lastDumpPath();
+  ASSERT_FALSE(dump.empty());
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("slo_breach:setup_p99"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"metrics\""), std::string::npos);
+
+  // The health verb reports the degradation.
+  auto c = obs::OpsClient::connect("127.0.0.1", runtime.opsPort());
+  ASSERT_NE(c, nullptr);
+  auto health = c->request("health");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_NE(health->body.find("health=degraded"), std::string::npos);
+  EXPECT_NE(health->body.find("ever_breached=1"), std::string::npos);
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -90,6 +90,46 @@ TEST(ObsTraceTest, RingOverflowKeepsNewestWithDroppedCount) {
             std::string::npos);
 }
 
+TEST(ObsTraceTest, RingOverflowBumpsDroppedMetricAndReportsSize) {
+  obs::MetricsRegistry reg;
+  obs::setThreadMetrics(&reg);
+  obs::TraceRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 3; ++i) {
+    rec.record(obs::EventKind::mark, "fits", "t");
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  // No overflow yet: the counter must not even exist, so drop-free runs
+  // keep their metrics dumps byte-identical.
+  EXPECT_EQ(reg.findCounter("trace.dropped"), nullptr);
+  for (int i = 0; i < 7; ++i) {
+    rec.record(obs::EventKind::mark, "overflow", "t");
+  }
+  EXPECT_EQ(rec.size(), rec.capacity());
+  EXPECT_EQ(rec.dropped(), 6u);
+  const obs::Counter* dropped = reg.findCounter("trace.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value(), 6u);
+  obs::setThreadMetrics(nullptr);
+}
+
+TEST(ObsMetricsTest, GaugeMaxNeverSetReturnsValueNotSentinel) {
+  // Regression: a created-but-never-set gauge used to report INT64_MIN as
+  // its high-water mark, which leaked the sentinel into dumps.
+  obs::Gauge gauge;
+  EXPECT_EQ(gauge.max(), 0);
+  EXPECT_EQ(gauge.value(), 0);
+  obs::MetricsRegistry reg;
+  (void)reg.gauge("untouched");
+  EXPECT_NE(reg.json().find("\"untouched\":{\"value\":0,\"max\":0}"),
+            std::string::npos);
+  // Once set, max tracks the high-water mark as before.
+  gauge.set(-5);
+  EXPECT_EQ(gauge.max(), -5);
+  gauge.set(3);
+  gauge.set(1);
+  EXPECT_EQ(gauge.max(), 3);
+}
+
 TEST(ObsTraceTest, SlotTransitionsAndSignalsRecorded) {
   obs::TraceRecorder rec;
   runCall(/*seed=*/3, &rec, nullptr);
