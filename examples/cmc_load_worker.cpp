@@ -1,0 +1,64 @@
+// cmc_load_worker: one rank of a distributed load run (docs/LOAD.md).
+//
+// Spawned by a DistDriver (load_soak --workers N does this) or launched by
+// hand against a driver's printed port. The whole protocol lives in
+// load/dist — this is just argv plumbing around DistWorker.
+//
+//   cmc_load_worker --port P --rank R [--host H] [--timeout-ms T]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "load/dist/worker.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P --rank R [--host H] [--timeout-ms T]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cmc::load::dist::WorkerConfig config;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::atoi(next()));
+      have_port = true;
+    } else if (arg == "--rank") {
+      config.rank = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--host") {
+      config.host = next();
+    } else if (arg == "--timeout-ms") {
+      config.io_timeout_ms = std::atoll(next());
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!have_port) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  cmc::load::dist::DistWorker worker(config);
+  const int rc = worker.run();
+  if (rc != 0) {
+    std::fprintf(stderr, "cmc_load_worker rank %u: %s\n", config.rank,
+                 worker.error().c_str());
+  }
+  return rc;
+}

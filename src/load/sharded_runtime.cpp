@@ -94,6 +94,14 @@ void ShardedRuntime::run(const WorkloadSpec& workload) {
 
 void ShardedRuntime::run(const std::vector<CallSpec>& calls,
                          const WorkloadSpec& workload) {
+  // Workload-wide fault-activity horizon: the last instant any call's
+  // arrival-relative fault window can still be open. Passed to every
+  // shard's router so refresh-tick lifetimes are shard-count invariant.
+  run(calls, workload, faultHorizon(calls, workload));
+}
+
+void ShardedRuntime::run(const std::vector<CallSpec>& calls,
+                         const WorkloadSpec& workload, SimTime fault_horizon) {
   if (ran_) {
     // The rollup histogram cannot be un-merged; one runtime, one run.
     throw std::logic_error("ShardedRuntime::run may only be called once");
@@ -102,16 +110,6 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
   outcomes_.clear();
   shard_stats_.clear();
   shard_traces_.clear();
-
-  // Workload-wide fault-activity horizon: the last instant any call's
-  // arrival-relative fault window can still be open. Passed to every
-  // shard's router so refresh-tick lifetimes are shard-count invariant.
-  SimTime fault_horizon;
-  for (const CallSpec& call : calls) {
-    if (!call.faulty) continue;
-    const SimTime end = call.arrival + workload.fault_spec.active_for;
-    if (fault_horizon < end) fault_horizon = end;
-  }
 
   std::vector<std::unique_ptr<ShardState>> shards;
   shards.reserve(config_.shards);

@@ -129,8 +129,17 @@ class ShardedRuntime {
   // fresh one per experiment.
   void run(const WorkloadSpec& workload);
   // Run an explicit call set (callers that pre-filter or hand-build calls).
-  // `workload` still supplies the fault shape and fraction.
+  // `workload` still supplies the fault shape and fraction. The fault
+  // horizon is computed over `calls` — correct when they ARE the whole
+  // workload.
   void run(const std::vector<CallSpec>& calls, const WorkloadSpec& workload);
+  // Run a slice of a larger workload under an explicit fault horizon. A
+  // distributed worker executing only its share of the calls must pass the
+  // horizon of the FULL call set (load::faultHorizon over every generated
+  // call), or refresh-tick lifetimes — and with them the rollup — would
+  // depend on which worker drew the last faulty call.
+  void run(const std::vector<CallSpec>& calls, const WorkloadSpec& workload,
+           SimTime fault_horizon);
 
   // ---------------------------------------------------------------- results
   // Outcomes of every call, sorted by call id (shard-order independent).

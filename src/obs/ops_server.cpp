@@ -9,6 +9,7 @@
 #include <cstring>
 #include <exception>
 
+#include "net/framed_rpc.hpp"
 #include "net/framing.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -209,36 +210,19 @@ std::vector<std::uint8_t> OpsServer::respond(
   }
 }
 
-OpsClient::OpsClient(int fd)
-    : fd_(fd), decoder_(std::make_unique<net::RawFrameDecoder>()) {}
+OpsClient::OpsClient(std::unique_ptr<net::FramedConn> conn)
+    : conn_(std::move(conn)) {}
 
-OpsClient::~OpsClient() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-  }
-}
+OpsClient::~OpsClient() = default;
 
 std::unique_ptr<OpsClient> OpsClient::connect(const std::string& host,
                                               std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return nullptr;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   // A response may legitimately never come (the server discarded a
-  // corrupted request frame as loss); bound the wait instead of hanging.
-  timeval timeout{};
-  timeout.tv_sec = 5;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  return std::unique_ptr<OpsClient>(new OpsClient(fd));
+  // corrupted request frame as loss); FramedConn's receive timeout bounds
+  // the wait instead of hanging.
+  auto conn = net::FramedConn::connect(host, port, 5'000);
+  if (!conn) return nullptr;
+  return std::unique_ptr<OpsClient>(new OpsClient(std::move(conn)));
 }
 
 std::optional<OpsClient::Response> OpsClient::request(const std::string& verb,
@@ -246,38 +230,32 @@ std::optional<OpsClient::Response> OpsClient::request(const std::string& verb,
   ByteWriter body;
   body.str(verb);
   body.str(args);
-  if (!sendRaw(net::encodeRawFrame(body.bytes()))) return std::nullopt;
+  if (!conn_ || !conn_->sendFrame(body.bytes())) return std::nullopt;
   return readResponse();
 }
 
 bool OpsClient::sendRaw(const std::vector<std::uint8_t>& bytes) {
-  if (fd_ < 0) return false;
-  if (!sendAll(fd_, bytes)) {
-    ::close(fd_);
-    fd_ = -1;
+  if (!conn_) return false;
+  if (!conn_->sendBytes(bytes)) {
+    conn_->close();
     return false;
   }
   return true;
 }
 
 std::optional<OpsClient::Response> OpsClient::readResponse() {
-  if (fd_ < 0) return std::nullopt;
-  std::uint8_t chunk[4096];
-  while (true) {
-    if (auto frame = decoder_->next()) {
-      ByteReader reader(frame->data(), frame->size());
-      Response response;
-      response.ok = reader.u8() == 0;
-      response.content_type = reader.str();
-      response.body = reader.str();
-      if (!reader.ok()) return std::nullopt;
-      return response;
-    }
-    if (decoder_->error()) return std::nullopt;
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return std::nullopt;  // closed or timed out
-    decoder_->feed(chunk, static_cast<std::size_t>(n));
-  }
+  if (!conn_) return std::nullopt;
+  auto frame = conn_->readFrame();
+  if (!frame) return std::nullopt;  // closed, timed out, or poisoned
+  ByteReader reader(frame->data(), frame->size());
+  Response response;
+  response.ok = reader.u8() == 0;
+  response.content_type = reader.str();
+  response.body = reader.str();
+  if (!reader.ok()) return std::nullopt;
+  return response;
 }
+
+bool OpsClient::isOpen() const noexcept { return conn_ && conn_->isOpen(); }
 
 }  // namespace cmc::obs

@@ -35,7 +35,7 @@
 #include <vector>
 
 namespace cmc::net {
-class RawFrameDecoder;
+class FramedConn;
 }
 
 namespace cmc::obs {
@@ -86,7 +86,9 @@ class OpsServer {
 };
 
 // Blocking client for cmc_top, tests, and scripts. One connection, one
-// outstanding request at a time.
+// outstanding request at a time. A thin verb/response layer over
+// net::FramedConn — the same framed client codepath the distributed load
+// coordinator's worker links use.
 class OpsClient {
  public:
   struct Response {
@@ -115,13 +117,12 @@ class OpsClient {
   bool sendRaw(const std::vector<std::uint8_t>& bytes);
   [[nodiscard]] std::optional<Response> readResponse();
 
-  [[nodiscard]] bool isOpen() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] bool isOpen() const noexcept;
 
  private:
-  explicit OpsClient(int fd);
+  explicit OpsClient(std::unique_ptr<net::FramedConn> conn);
 
-  int fd_ = -1;
-  std::unique_ptr<net::RawFrameDecoder> decoder_;  // carry-over between reads
+  std::unique_ptr<net::FramedConn> conn_;
 };
 
 }  // namespace cmc::obs

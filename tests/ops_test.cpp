@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/framed_rpc.hpp"
 #include "net/framing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops_server.hpp"
@@ -386,6 +387,26 @@ TEST_F(OpsEndpointTest, HostileLengthKillsConnectionButNotListener) {
   auto r = fresh->request("ping", "alive");
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->body, "pong:alive");
+}
+
+TEST_F(OpsEndpointTest, BareFramedConnSpeaksTheOpsProtocol) {
+  // OpsClient is a thin layer over net::FramedConn — the same transport the
+  // distributed load plane's worker links use. A bare FramedConn speaking
+  // hand-built request frames must get the same service, which pins the
+  // shared codepath: one framing implementation, two protocols on top.
+  auto conn = net::FramedConn::connect("127.0.0.1", server_->port());
+  ASSERT_NE(conn, nullptr);
+  ByteWriter request;
+  request.str("ping");
+  request.str("rpc");
+  ASSERT_TRUE(conn->sendFrame(request.bytes()));
+  auto frame = conn->readFrame();
+  ASSERT_TRUE(frame.has_value());
+  ByteReader in(*frame);
+  EXPECT_EQ(in.u8(), 0);  // status: ok
+  EXPECT_EQ(in.str(), "text/plain");
+  EXPECT_EQ(in.str(), "pong:rpc");
+  EXPECT_TRUE(in.ok() && in.atEnd());
 }
 
 TEST_F(OpsEndpointTest, ThrowingHandlerBecomesErrorResponse) {
