@@ -163,5 +163,33 @@ int main() {
           ",\"dist_rollup_identical\":" + (dist_identical ? "true" : "false") +
           "}";
   bench::jsonLine("LOAD_THROUGHPUT", json);
+
+  // Profiled row: the same 1-shard workload with the hot-path profiler on.
+  // Two claims: (a) profiling is additive-only — the rollup lands on the
+  // same bytes as the unprofiled rows; (b) the site tree attributes >=90%
+  // of the shard thread's wall time (the ISSUE acceptance bar).
+  {
+    LoadConfig config;
+    config.shards = 1;
+    config.profile = true;
+    ShardedRuntime runtime(config);
+    runtime.run(workload);
+    bench::verdict(runtime.metricsJson() == first_rollup,
+                   "profiled rollup is byte-identical to the unprofiled rows");
+    const std::int64_t thread_wall_ns = runtime.threadWallNs();
+    const std::string prof =
+        runtime.profileReport().attributionJson(thread_wall_ns);
+    bench::jsonLine("PROF", prof);
+    const std::string::size_type cov = prof.find("\"coverage\":");
+    const double coverage =
+        cov != std::string::npos
+            ? std::strtod(prof.c_str() + cov + sizeof("\"coverage\":") - 1,
+                          nullptr)
+            : 0.0;
+    bench::verdict(coverage >= 0.9,
+                   "profile attributes >=90% of shard wall time (coverage=" +
+                       std::to_string(coverage) + ")");
+    if (runtime.metricsJson() != first_rollup || coverage < 0.9) return 1;
+  }
   return 0;
 }

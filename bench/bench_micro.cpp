@@ -4,10 +4,20 @@
 // These are engineering numbers (no paper counterpart): they bound how many
 // media-control operations a single application server built on this
 // library could sustain.
+//
+// Each benchmark runs with a thread-local ProfileTable installed, which (a)
+// lets the replacement operator new/delete attribute allocations, reported
+// as allocs/op and bytes/op next to google-benchmark's timing columns, and
+// (b) exercises the hot-path timing sites — so these are the profiled
+// numbers (bench_obs_overhead measures the profiler's own delta). After the
+// benchmarks, one profiled explorer run prints a PROF attribution line
+// (ns/op, allocs/op per site + wall-time coverage).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/path.hpp"
 #include "mc/state_graph.hpp"
+#include "obs/profiler.hpp"
 
 namespace cmc {
 namespace {
@@ -18,17 +28,41 @@ Descriptor benchDescriptor(std::uint64_t id) {
                         codecs, false);
 }
 
+// Installs a fresh thread profiler for one benchmark; report() divides the
+// table's allocation totals by the iteration count into per-op counters.
+class AllocScope {
+ public:
+  AllocScope() { obs::setThreadProfiler(&table_); }
+  ~AllocScope() { obs::setThreadProfiler(nullptr); }
+
+  void report(benchmark::State& state) {
+    obs::setThreadProfiler(nullptr);
+    const obs::ProfileTotals totals = table_.report().totals();
+    const auto iters = state.iterations() > 0 ? state.iterations() : 1;
+    state.counters["allocs/op"] =
+        static_cast<double>(totals.allocs) / static_cast<double>(iters);
+    state.counters["bytes/op"] =
+        static_cast<double>(totals.alloc_bytes) / static_cast<double>(iters);
+  }
+
+ private:
+  obs::ProfileTable table_{"bench_micro"};
+};
+
 void BM_SignalSerializeOpen(benchmark::State& state) {
+  AllocScope allocs;
   const Signal signal = OpenSignal{Medium::audio, benchDescriptor(1)};
   for (auto _ : state) {
     ByteWriter w;
     serialize(signal, w);
     benchmark::DoNotOptimize(w.bytes().data());
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_SignalSerializeOpen);
 
 void BM_SignalRoundTripOpen(benchmark::State& state) {
+  AllocScope allocs;
   const Signal signal = OpenSignal{Medium::audio, benchDescriptor(1)};
   ByteWriter w;
   serialize(signal, w);
@@ -37,10 +71,12 @@ void BM_SignalRoundTripOpen(benchmark::State& state) {
     auto out = deserializeSignal(r);
     benchmark::DoNotOptimize(out);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_SignalRoundTripOpen);
 
 void BM_SlotFsmOpenAcceptClose(benchmark::State& state) {
+  AllocScope allocs;
   for (auto _ : state) {
     SlotEndpoint slot{SlotId{1}, true};
     benchmark::DoNotOptimize(slot.sendOpen(Medium::audio, benchDescriptor(1)));
@@ -48,10 +84,12 @@ void BM_SlotFsmOpenAcceptClose(benchmark::State& state) {
     benchmark::DoNotOptimize(slot.sendClose());
     benchmark::DoNotOptimize(slot.deliver(CloseAckSignal{}));
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_SlotFsmOpenAcceptClose);
 
 void BM_PathConvergence(benchmark::State& state) {
+  AllocScope allocs;
   const auto flowlinks = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
@@ -61,10 +99,12 @@ void BM_PathConvergence(benchmark::State& state) {
     benchmark::DoNotOptimize(path.bothFlowing());
   }
   state.SetLabel("flowlinks=" + std::to_string(flowlinks));
+  allocs.report(state);
 }
 BENCHMARK(BM_PathConvergence)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_PathMuteRoundTrip(benchmark::State& state) {
+  AllocScope allocs;
   PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
                   PathSystem::makeGoal(GoalKind::openSlot, PathEnd::right), 2);
   path.run();
@@ -74,20 +114,24 @@ void BM_PathMuteRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(path.run());
     mute = !mute;
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_PathMuteRoundTrip);
 
 void BM_PathFingerprint(benchmark::State& state) {
+  AllocScope allocs;
   PathSystem path(PathSystem::makeGoal(GoalKind::openSlot, PathEnd::left),
                   PathSystem::makeGoal(GoalKind::openSlot, PathEnd::right), 1);
   path.run();
   for (auto _ : state) {
     benchmark::DoNotOptimize(path.fingerprint());
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_PathFingerprint);
 
 void BM_ExplorerStatesPerSecond(benchmark::State& state) {
+  AllocScope allocs;
   ExploreLimits limits;
   limits.chaos_budget = 1;
   limits.modify_budget = 0;
@@ -99,19 +143,44 @@ void BM_ExplorerStatesPerSecond(benchmark::State& state) {
   }
   state.counters["states/s"] = benchmark::Counter(
       static_cast<double>(states), benchmark::Counter::kIsRate);
+  allocs.report(state);
 }
 BENCHMARK(BM_ExplorerStatesPerSecond);
 
 void BM_DescriptorChoice(benchmark::State& state) {
+  AllocScope allocs;
   const Descriptor d = benchDescriptor(1);
   const Codec sendable[] = {Codec::g726, Codec::g711u};
   for (auto _ : state) {
     benchmark::DoNotOptimize(chooseCodec(d, sendable, false));
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_DescriptorChoice);
 
 }  // namespace
 }  // namespace cmc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // One profiled explorer run for site-scoped attribution: which hot paths
+  // the explorer's wall time and allocations actually land in (ns/op and
+  // allocs/op per site, plus coverage of the measured wall time).
+  using namespace cmc;
+  obs::ProfileTable table("bench_micro");
+  obs::setThreadProfiler(&table);
+  const std::int64_t start_ns = obs::prof::nowNs();
+  ExploreLimits limits;
+  limits.chaos_budget = 1;
+  limits.modify_budget = 0;
+  auto graph = explorePath(GoalKind::openSlot, GoalKind::holdSlot, 0, limits);
+  const std::int64_t wall_ns = obs::prof::nowNs() - start_ns;
+  obs::setThreadProfiler(nullptr);
+  std::printf("explorer: %zu states\n", graph.states());
+  bench::jsonLine("PROF", table.report().attributionJson(wall_ns));
+  return 0;
+}

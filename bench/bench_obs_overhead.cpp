@@ -14,10 +14,19 @@
 //   sampler      — metrics plus a live sampler thread snapshotting the
 //                  registry every millisecond (the telemetry plane of
 //                  obs/snapshot.hpp) — its cost over plain metrics is the
-//                  price of watching a run live, and must stay ~free.
+//                  price of watching a run live, and must stay ~free;
+//   profiler     — a thread-local ProfileTable installed (obs/profiler.hpp):
+//                  every CMC_PROF_SCOPE site times itself and operator
+//                  new/delete attribute allocations.
 //
 // The per-stimulus cost is wall time divided by the stimulus count of the
 // deterministic call (identical across modes by recorder transparency).
+//
+// The profiler's off-mode promise — compiled-in sites cost one thread-local
+// load when no table is installed — is measured directly: a tight loop over
+// a disabled site gives ns/visit, and (site visits per call x that cost)
+// over the off-mode call time is the disabled-profiler overhead, which must
+// stay under 1%.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +35,7 @@
 #include "bench_util.hpp"
 #include "endpoints/user_device.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -35,7 +45,7 @@ namespace {
 using namespace cmc;
 using namespace cmc::literals;
 
-enum class Mode { off, trace, propagation, metrics, sampler };
+enum class Mode { off, trace, propagation, metrics, sampler, profiler };
 
 void runCall(std::uint64_t seed, obs::TraceRecorder* rec,
              obs::MetricsRegistry* reg) {
@@ -66,6 +76,8 @@ double nsPerStimulus(Mode mode, int reps, std::uint64_t stimuli_per_call) {
   // per call); spawn it once around the whole rep loop so the measurement
   // captures its steady-state interference, not thread start-up.
   obs::MetricsRegistry sampled_reg;
+  obs::ProfileTable prof_table("bench_obs");
+  if (mode == Mode::profiler) obs::setThreadProfiler(&prof_table);
   std::atomic<bool> done{false};
   obs::SnapshotSeries series(64);
   std::thread sampler;
@@ -87,6 +99,8 @@ double nsPerStimulus(Mode mode, int reps, std::uint64_t stimuli_per_call) {
       runCall(static_cast<std::uint64_t>(rep), nullptr, &reg);
     } else if (mode == Mode::sampler) {
       runCall(static_cast<std::uint64_t>(rep), nullptr, &sampled_reg);
+    } else if (mode == Mode::profiler) {
+      runCall(static_cast<std::uint64_t>(rep), nullptr, nullptr);
     } else {
       obs::TraceRecorder rec;
       if (mode == Mode::propagation) rec.setPropagation(true);
@@ -100,8 +114,46 @@ double nsPerStimulus(Mode mode, int reps, std::uint64_t stimuli_per_call) {
     done.store(true, std::memory_order_relaxed);
     sampler.join();
   }
+  if (mode == Mode::profiler) obs::setThreadProfiler(nullptr);
   return total_ns / (static_cast<double>(reps) *
                      static_cast<double>(stimuli_per_call));
+}
+
+// Cost of visiting one disabled profiling site: the ctor loads the
+// thread-local table pointer, sees nullptr, and skips everything else.
+double offSiteVisitNs() {
+  using clock = std::chrono::steady_clock;
+  obs::setThreadProfiler(nullptr);
+  constexpr int kIters = 1 << 22;
+  // Baseline: the same loop with only the optimization barrier, subtracted
+  // so the result is the site's own cost, not the loop scaffolding.
+  clock::time_point start = clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    asm volatile("" ::: "memory");
+  }
+  const double base_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start)
+          .count());
+  start = clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    CMC_PROF_SCOPE("bench.off_site");
+    asm volatile("" ::: "memory");
+  }
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start)
+          .count());
+  const double per_visit = (total_ns - base_ns) / static_cast<double>(kIters);
+  return per_visit > 0.0 ? per_visit : 0.0;
+}
+
+// Profiling-site visits in one call (span enters; value sites excluded from
+// the span count), read off a profiled calibration run.
+std::uint64_t siteVisitsPerCall() {
+  obs::ProfileTable table("calibration");
+  obs::setThreadProfiler(&table);
+  runCall(/*seed=*/1, nullptr, nullptr);
+  obs::setThreadProfiler(nullptr);
+  return table.report().totals().span_calls;
 }
 
 }  // namespace
@@ -127,6 +179,16 @@ int main() {
   const double prop_ns = nsPerStimulus(Mode::propagation, kReps, stimuli);
   const double metrics_ns = nsPerStimulus(Mode::metrics, kReps, stimuli);
   const double sampler_ns = nsPerStimulus(Mode::sampler, kReps, stimuli);
+  const double prof_ns = nsPerStimulus(Mode::profiler, kReps, stimuli);
+  const double off_site_ns = offSiteVisitNs();
+  const std::uint64_t site_visits = siteVisitsPerCall();
+  // Disabled-profiler tax on the off row: every compiled-in site still pays
+  // the null-check, so (visits/call x ns/visit) of the call's wall time.
+  const double off_call_ns = off_ns * static_cast<double>(stimuli);
+  const double prof_off_pct =
+      off_call_ns > 0
+          ? 100.0 * static_cast<double>(site_visits) * off_site_ns / off_call_ns
+          : 100.0;
 
   std::printf("  %-22s %-18s %-18s\n", "mode", "ns/stimulus", "vs off");
   std::printf("  %-22s %-18.0f %-18s\n", "off", off_ns, "1.00x");
@@ -138,6 +200,12 @@ int main() {
               off_ns > 0 ? metrics_ns / off_ns : 0.0);
   std::printf("  %-22s %-18.0f %.2fx\n", "metrics+sampler", sampler_ns,
               off_ns > 0 ? sampler_ns / off_ns : 0.0);
+  std::printf("  %-22s %-18.0f %.2fx\n", "profiler", prof_ns,
+              off_ns > 0 ? prof_ns / off_ns : 0.0);
+  std::printf("  disabled profiling site: %.2f ns/visit x %llu visits/call "
+              "= %.3f%% of the off-mode call\n",
+              off_site_ns, static_cast<unsigned long long>(site_visits),
+              prof_off_pct);
   bench::note(
       "per-stimulus wall cost of the two-phone call; stimulus count is "
       "identical across modes by recorder transparency. The sampler row is "
@@ -145,20 +213,26 @@ int main() {
       "registry while the call runs — its delta over the metrics row is "
       "what watching a run live costs the hot path");
 
-  char json[640];
+  char json[896];
   std::snprintf(json, sizeof(json),
                 "{\"stimuli_per_call\":%llu,\"reps\":%d,\"off_ns\":%.0f,"
                 "\"trace_ns\":%.0f,\"propagation_ns\":%.0f,"
-                "\"metrics_ns\":%.0f,\"sampler_ns\":%.0f,"
+                "\"metrics_ns\":%.0f,\"sampler_ns\":%.0f,\"profiler_ns\":%.0f,"
                 "\"trace_overhead_ns\":%.0f,\"propagation_overhead_ns\":%.0f,"
-                "\"sampler_overhead_ns\":%.0f}",
+                "\"sampler_overhead_ns\":%.0f,\"profiler_overhead_ns\":%.0f,"
+                "\"prof_off_site_ns\":%.2f,\"prof_site_visits_per_call\":%llu,"
+                "\"prof_off_overhead_pct\":%.3f}",
                 static_cast<unsigned long long>(stimuli), kReps, off_ns,
-                trace_ns, prop_ns, metrics_ns, sampler_ns, trace_ns - off_ns,
-                prop_ns - off_ns, sampler_ns - metrics_ns);
+                trace_ns, prop_ns, metrics_ns, sampler_ns, prof_ns,
+                trace_ns - off_ns, prop_ns - off_ns, sampler_ns - metrics_ns,
+                prof_ns - off_ns, off_site_ns,
+                static_cast<unsigned long long>(site_visits), prof_off_pct);
   bench::jsonLine("OBS_OVERHEAD", json);
 
   const bool ok = off_ns > 0 && trace_ns > 0 && prop_ns > 0 &&
-                  metrics_ns > 0 && sampler_ns > 0;
+                  metrics_ns > 0 && sampler_ns > 0 && prof_ns > 0;
   bench::verdict(ok, "tracing modes measured; see OBS_OVERHEAD line");
-  return ok ? 0 : 1;
+  bench::verdict(prof_off_pct <= 1.0,
+                 "disabled profiler costs <=1% of the uninstrumented run");
+  return ok && prof_off_pct <= 1.0 ? 0 : 1;
 }

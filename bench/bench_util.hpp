@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "mc/explore_stats.hpp"
@@ -32,9 +33,25 @@ inline void verdict(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "OK " : "FAIL", what.c_str());
 }
 
+// Every jsonLine() payload is also appended as one {"tag":...,"data":...}
+// JSONL record to CMC_BENCH_RESULTS (default "bench_results.json" in the
+// working directory — build/ when the benches run from there, which is the
+// file CI uploads as an artifact). Set CMC_BENCH_RESULTS="" to disable.
+inline void appendResult(const std::string& tag, const std::string& json) {
+  static FILE* out = []() -> FILE* {
+    const char* path = std::getenv("CMC_BENCH_RESULTS");
+    if (path != nullptr && *path == '\0') return nullptr;
+    return std::fopen(path != nullptr ? path : "bench_results.json", "a");
+  }();
+  if (out == nullptr) return;
+  std::fprintf(out, "{\"tag\":\"%s\",\"data\":%s}\n", tag.c_str(), json.c_str());
+  std::fflush(out);
+}
+
 // One machine-readable line: two-space indent, TAG, one JSON object.
 inline void jsonLine(const std::string& tag, const std::string& json) {
   std::printf("  %s %s\n", tag.c_str(), json.c_str());
+  appendResult(tag, json);
 }
 
 inline void exploreStats(const ExploreStats& stats, const std::string& bench,

@@ -5,6 +5,7 @@
 //             [--workers N] [--worker-binary PATH]
 //             [--ops-port P] [--sample-ms MS] [--ops-linger MS]
 //             [--slo-setup-p99-us US] [--flight-dir DIR]
+//             [--profile] [--profile-dir DIR]
 //
 // Either --calls fixes the call count directly, or --duration derives it
 // from the arrival rate (duration * rate). Prints per-shard stats, the
@@ -23,6 +24,14 @@
 // without stopping the run. The plane is strictly read-only: outcomes and
 // the final "metrics:" rollup line are byte-identical with it on or off
 // (the ops-smoke CI job asserts exactly that).
+//
+// --profile installs a per-shard hot-path profiler (docs/OBSERVABILITY.md
+// §Profiling) and prints a PROF JSON attribution line (ns/op and allocs/op
+// per site, coverage vs. shard thread time). --profile-dir additionally
+// writes profile.json / profile.collapsed (flamegraph.pl) /
+// profile.speedscope.json there, and enables the `profile` ops verb when
+// combined with --ops-port. Profiling is additive-only: the "metrics:"
+// rollup line stays byte-identical with it on or off.
 //
 // --workers N switches to distributed mode (docs/LOAD.md §Distributed): a
 // DistDriver spawns N cmc_load_worker subprocesses (auto-located next to
@@ -92,6 +101,11 @@ int main(int argc, char** argv) {
       slo_setup_p99_us = std::strtod(next(), nullptr);
     } else if (std::strcmp(argv[i], "--flight-dir") == 0) {
       config.flight_dir = next();
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      config.profile = true;
+    } else if (std::strcmp(argv[i], "--profile-dir") == 0) {
+      config.profile_dir = next();
+      config.profile = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -215,6 +229,18 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(workload.calls) / runtime.wallSeconds()
                   : 0.0);
   std::printf("metrics: %s\n", runtime.metricsJson().c_str());
+  if (runtime.profiled()) {
+    // Coverage denominator: the sum of each shard thread's own lifetime.
+    // (wallSeconds * shards would overcount on machines with fewer cores
+    // than shards, where the threads time-slice and finish staggered.)
+    const std::int64_t thread_wall_ns = runtime.threadWallNs();
+    std::printf("PROF %s\n",
+                runtime.profileReport().attributionJson(thread_wall_ns).c_str());
+    if (!config.profile_dir.empty()) {
+      std::printf("profile exports: %s/profile.{json,collapsed,speedscope.json}\n",
+                  config.profile_dir.c_str());
+    }
+  }
   if (const load::LiveTelemetry* live = runtime.telemetry()) {
     std::printf("slo: %s (%llu breaches, %llu dumps)\n",
                 live->everBreached() ? "breached" : "ok",

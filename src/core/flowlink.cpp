@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace cmc {
@@ -62,6 +63,7 @@ bool FlowLink::upToDate(const SlotEndpoint& slot) const noexcept {
 
 void FlowLink::onEvent(SlotEndpoint& self, SlotEndpoint& other, SlotEvent event,
                        const Signal& signal, Outbox& out) {
+  CMC_PROF_SCOPE("flowlink.on_event");
   switch (event) {
     case SlotEvent::openReceived: {
       // A fresh request from self's far side. Its descriptor supersedes

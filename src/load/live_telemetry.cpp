@@ -75,6 +75,26 @@ void LiveTelemetry::attach(std::vector<const obs::MetricsRegistry*> shards) {
   sampler_ = std::thread([this]() { samplerLoop(); });
 }
 
+void LiveTelemetry::attachProfiles(
+    std::vector<const obs::ProfileTable*> profiles) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_ = std::move(profiles);
+  }
+  if (flight_ != nullptr) {
+    // The breach hook dumps with the hub lock held, so the source reads the
+    // live tables directly (their counters are relaxed atomics) and never
+    // touches hub state.
+    std::vector<const obs::ProfileTable*> tables;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tables = profiles_;
+    }
+    flight_->setProfileSource(
+        [tables]() { return obs::mergeTables(tables).json(); });
+  }
+}
+
 void LiveTelemetry::finish() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -88,6 +108,17 @@ void LiveTelemetry::finish() {
   // and the endpoint keeps serving the retained snapshots.
   sampleOnce(/*final_tick=*/true);
   std::lock_guard<std::mutex> lock(mutex_);
+  // Same retention discipline for the profile: merge once while the shard
+  // tables are still alive, serve the retained report afterwards.
+  if (!profiles_.empty()) {
+    retained_profile_ = obs::mergeTables(profiles_);
+    profile_retained_ = true;
+    profiles_.clear();
+    if (flight_ != nullptr) {
+      const std::string retained_json = retained_profile_.json();
+      flight_->setProfileSource([retained_json]() { return retained_json; });
+    }
+  }
   registries_.clear();
   finished_ = true;
 }
@@ -257,6 +288,16 @@ void LiveTelemetry::registerVerbs() {
   server_->handle("health", "text/plain", [this](const std::string&) {
     std::lock_guard<std::mutex> lock(mutex_);
     return healthText();
+  });
+  server_->handle("profile", "application/json", [this](const std::string& args) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (profile_retained_) {
+      return obs::profileResponse(retained_profile_, args);
+    }
+    if (profiles_.empty()) {
+      throw std::runtime_error("no profiler attached (run with profiling on)");
+    }
+    return obs::profileResponse(obs::mergeTables(profiles_), args);
   });
   server_->handle("flight", "text/plain", [this](const std::string& args) {
     std::lock_guard<std::mutex> lock(mutex_);

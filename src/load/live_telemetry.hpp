@@ -20,6 +20,9 @@
 //   shards   text/plain        one key=value line per shard (cmc_top feed)
 //   health   text/plain        ok|degraded|starting + one line per SLO rule
 //   flight   text/plain        on-demand flight dump of the merged view
+//   profile  application/json  merged hot-path profile (args: "json" |
+//                              "collapsed" | "speedscope"; error when the
+//                              run was not profiled)
 //
 // On an SLO breach-entry the hub flips health to degraded and dumps its own
 // flight recorder (prefix "slo", fed from a hub-owned registry rebuilt via
@@ -40,6 +43,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops_server.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/snapshot.hpp"
 
@@ -86,6 +90,11 @@ class LiveTelemetry {
   // Hand the sampler the shard registries and start ticking. The pointers
   // must stay valid until finish().
   void attach(std::vector<const obs::MetricsRegistry*> shards);
+  // Hand the `profile` verb the per-shard profiler tables (safe to read
+  // while the shard threads write; see obs/profiler.hpp). The pointers
+  // must stay valid until finish(), which retains a final merged report so
+  // the endpoint keeps serving it after the tables die.
+  void attachProfiles(std::vector<const obs::ProfileTable*> profiles);
   // Final tick, stop the sampler, drop the registry pointers. The ops
   // endpoint keeps serving the retained state until destruction.
   void finish();
@@ -120,6 +129,9 @@ class LiveTelemetry {
   bool attached_ = false;
   bool finished_ = false;
   std::vector<const obs::MetricsRegistry*> registries_;
+  std::vector<const obs::ProfileTable*> profiles_;
+  obs::ProfileReport retained_profile_;
+  bool profile_retained_ = false;
   std::vector<obs::SnapshotSeries> shard_series_;
   obs::SnapshotSeries series_;  // merged fleet view
   obs::SloWatchdog watchdog_;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
 #include "load/call_boxes.hpp"
 #include "load/fault_router.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -70,6 +73,7 @@ struct ShardedRuntime::ShardState {
 
 ShardedRuntime::ShardedRuntime(LoadConfig config) : config_(std::move(config)) {
   if (config_.shards == 0) config_.shards = 1;
+  if (!config_.profile_dir.empty()) config_.profile = true;
   if (config_.ops_port >= 0 || !config_.slos.empty() || config_.on_sample) {
     LiveTelemetry::Config live;
     live.ops_port = config_.ops_port;
@@ -122,11 +126,25 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
     shards[call.id % config_.shards]->calls.push_back(call);
   }
 
+  if (config_.profile) {
+    shard_profiles_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shard_profiles_.push_back(std::make_unique<obs::ProfileTable>(
+          "shard" + std::to_string(i)));
+    }
+  }
+
   if (live_ != nullptr) {
     std::vector<const obs::MetricsRegistry*> registries;
     registries.reserve(shards.size());
     for (auto& shard : shards) registries.push_back(&shard->metrics);
     live_->attach(std::move(registries));
+    if (config_.profile) {
+      std::vector<const obs::ProfileTable*> tables;
+      tables.reserve(shard_profiles_.size());
+      for (auto& table : shard_profiles_) tables.push_back(table.get());
+      live_->attachProfiles(std::move(tables));
+    }
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -172,6 +190,24 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
               return a.spec.id < b.spec.id;
             });
 
+  if (config_.profile) {
+    std::vector<const obs::ProfileTable*> tables;
+    tables.reserve(shard_profiles_.size());
+    for (auto& table : shard_profiles_) tables.push_back(table.get());
+    profile_report_ = obs::mergeTables(tables);
+    if (!config_.profile_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.profile_dir, ec);
+      const std::string base = config_.profile_dir + "/profile";
+      std::ofstream(base + ".json", std::ios::trunc)
+          << profile_report_.json();
+      std::ofstream(base + ".collapsed", std::ios::trunc)
+          << profile_report_.collapsed();
+      std::ofstream(base + ".speedscope.json", std::ios::trunc)
+          << profile_report_.speedscope("load_soak");
+    }
+  }
+
   if (live_ != nullptr && config_.ops_linger_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(config_.ops_linger_ms));
@@ -180,13 +216,22 @@ void ShardedRuntime::run(const std::vector<CallSpec>& calls,
 
 void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
                               SimTime fault_horizon) {
+  const std::int64_t thread_start_ns = obs::prof::nowNs();
   // Per-shard observability, visible to this thread only. Cleared before
   // the artifacts die (end of this function).
   obs::TraceRecorder trace(config_.trace_capacity);
   obs::setThreadMetrics(&shard.metrics);
   if (config_.capture_traces) obs::setThreadRecorder(&trace);
+  if (config_.profile) {
+    obs::setThreadProfiler(shard_profiles_[shard.index].get());
+  }
 
   {
+    // Spans the shard thread's whole working life — simulator construction,
+    // the run itself, and teardown — so the depth-1 profile total accounts
+    // for (nearly) all of wallSeconds() and bench PROF lines can claim
+    // >=90% coverage even when shards time-slice few cores.
+    CMC_PROF_SCOPE("shard.run");
     std::uint64_t sim_seed = 0x10ad ^ shard.index;
     Simulator sim(config_.timing, splitmix64(sim_seed));
     trace.setTimeSource([&sim]() { return sim.nowUs(); });
@@ -211,82 +256,91 @@ void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
       sim.installFaultPlan(&router);
     }
 
+    // Phases under shard.run: scheduling the call set, draining the event
+    // loop, finalizing outcomes.
     std::deque<CallRuntime> live;
-    for (const CallSpec& call : shard.calls) {
-      live.push_back(CallRuntime{call, nullptr, nullptr, nullptr, false, {}});
-    }
-    for (CallRuntime& call : live) {
-      call.outcome.spec = call.spec;
-      call.outcome.shard = shard.index;
-      const std::string probe = call.spec.probeName();
+    {
+      CMC_PROF_SCOPE("shard.schedule");
+      for (const CallSpec& call : shard.calls) {
+        live.push_back(CallRuntime{call, nullptr, nullptr, nullptr, false, {}});
+      }
+      for (CallRuntime& call : live) {
+        call.outcome.spec = call.spec;
+        call.outcome.shard = shard.index;
+        const std::string probe = call.spec.probeName();
 
-      sim.loop().scheduleAt(call.spec.arrival, [this, &sim, &shard, &call,
-                                                probe]() {
-        // Live lifecycle metrics, written unconditionally (sampler or not)
-        // so the rollup stays byte-identical either way. The gauge is
-        // shard-local (excluded from the rollup); the counters are additive
-        // and shard-count invariant — each call arrives exactly once.
-        shard.metrics.counter("load.call_arrivals").add(1);
-        shard.metrics.gauge("load.armed_probes").add(1);
-        auto& left = sim.addBox<LoadEndpointBox>(
-            call.spec.leftName(), call.spec.left, PathEnd::left);
-        auto& right = sim.addBox<LoadEndpointBox>(
-            call.spec.rightName(), call.spec.right, PathEnd::right);
-        call.left = &left;
-        call.right = &right;
-        std::string target = call.spec.rightName();
-        if (call.spec.flowlinks > 0) {
-          auto& relay = sim.addBox<LoadRelayBox>(call.spec.relayName(),
-                                                 call.spec.rightName());
-          call.relay = &relay;
-          target = call.spec.relayName();
-        }
-        sim.inject(call.spec.leftName(), [target](Box& box) {
-          static_cast<LoadEndpointBox&>(box).dial(target);
-        });
-        const std::int64_t deadline =
-            config_.setup_deadline_us > 0
-                ? sim.nowUs() + config_.setup_deadline_us
-                : 0;
-        sim.probes().arm(probe, "call_setup", sim.nowUs(),
-                         [&call]() { return atRest(call); }, deadline);
-      });
-
-      const SimTime teardown_at =
-          call.spec.arrival + config_.setup_grace + call.spec.hold;
-      sim.loop().scheduleAt(teardown_at, [&sim, &shard, &call, probe]() {
-        // Final verdict for this call's probe (it may be resting right now,
-        // or past its watchdog deadline), then retire it: once torn down
-        // the predicate can never hold again.
-        sim.probes().check(sim.nowUs());
-        sim.probes().disarm(probe);
-        shard.metrics.counter("load.call_teardowns").add(1);
-        shard.metrics.gauge("load.armed_probes").add(-1);
-        call.torn_down = true;
-        sim.inject(call.spec.leftName(), [](Box& box) {
-          static_cast<LoadEndpointBox&>(box).hangUp();
-        });
-      });
-
-      sim.loop().scheduleAt(
-          teardown_at + config_.teardown_grace, [&sim, &call, probe]() {
-            const auto latency = sim.probes().latencyUs(probe);
-            call.outcome.converged = latency.has_value();
-            call.outcome.setup_latency_us = latency.value_or(-1);
-            call.outcome.clean_teardown = leakFree(call.left) &&
-                                          leakFree(call.right) &&
-                                          leakFree(call.relay);
+        sim.loop().scheduleAt(call.spec.arrival, [this, &sim, &shard, &call,
+                                                  probe]() {
+          // Live lifecycle metrics, written unconditionally (sampler or not)
+          // so the rollup stays byte-identical either way. The gauge is
+          // shard-local (excluded from the rollup); the counters are additive
+          // and shard-count invariant — each call arrives exactly once.
+          shard.metrics.counter("load.call_arrivals").add(1);
+          shard.metrics.gauge("load.armed_probes").add(1);
+          auto& left = sim.addBox<LoadEndpointBox>(
+              call.spec.leftName(), call.spec.left, PathEnd::left);
+          auto& right = sim.addBox<LoadEndpointBox>(
+              call.spec.rightName(), call.spec.right, PathEnd::right);
+          call.left = &left;
+          call.right = &right;
+          std::string target = call.spec.rightName();
+          if (call.spec.flowlinks > 0) {
+            auto& relay = sim.addBox<LoadRelayBox>(call.spec.relayName(),
+                                                   call.spec.rightName());
+            call.relay = &relay;
+            target = call.spec.relayName();
+          }
+          sim.inject(call.spec.leftName(), [target](Box& box) {
+            static_cast<LoadEndpointBox&>(box).dial(target);
           });
+          const std::int64_t deadline =
+              config_.setup_deadline_us > 0
+                  ? sim.nowUs() + config_.setup_deadline_us
+                  : 0;
+          sim.probes().arm(probe, "call_setup", sim.nowUs(),
+                           [&call]() { return atRest(call); }, deadline);
+        });
+
+        const SimTime teardown_at =
+            call.spec.arrival + config_.setup_grace + call.spec.hold;
+        sim.loop().scheduleAt(teardown_at, [&sim, &shard, &call, probe]() {
+          // Final verdict for this call's probe (it may be resting right now,
+          // or past its watchdog deadline), then retire it: once torn down
+          // the predicate can never hold again.
+          sim.probes().check(sim.nowUs());
+          sim.probes().disarm(probe);
+          shard.metrics.counter("load.call_teardowns").add(1);
+          shard.metrics.gauge("load.armed_probes").add(-1);
+          call.torn_down = true;
+          sim.inject(call.spec.leftName(), [](Box& box) {
+            static_cast<LoadEndpointBox&>(box).hangUp();
+          });
+        });
+
+        sim.loop().scheduleAt(
+            teardown_at + config_.teardown_grace, [&sim, &call, probe]() {
+              const auto latency = sim.probes().latencyUs(probe);
+              call.outcome.converged = latency.has_value();
+              call.outcome.setup_latency_us = latency.value_or(-1);
+              call.outcome.clean_teardown = leakFree(call.left) &&
+                                            leakFree(call.right) &&
+                                            leakFree(call.relay);
+            });
+      }
     }
 
     // All lifecycle events are pre-scheduled; grants of virtual time keep
     // flowing until the shard drains (retry chains stop at teardown, refresh
     // ticks stop at the fault horizon, so it always does).
     bool idle = false;
-    for (int grants = 0; grants < 10'000 && !idle; ++grants) {
-      idle = sim.run(std::chrono::seconds(600));
+    {
+      CMC_PROF_SCOPE("shard.drain");
+      for (int grants = 0; grants < 10'000 && !idle; ++grants) {
+        idle = sim.run(std::chrono::seconds(600));
+      }
     }
     if (!idle) throw std::runtime_error("shard event loop failed to drain");
+    CMC_PROF_SCOPE("shard.finalize");
     sim.probes().check(sim.nowUs());
 
     // Per-call fault totals (drops + dups + reorders seen by each call).
@@ -334,8 +388,10 @@ void ShardedRuntime::runShard(ShardState& shard, const WorkloadSpec& workload,
   }  // Simulator (and its probes) destroyed here, before the recorders.
 
   if (config_.capture_traces) shard.events = trace.snapshot();
+  obs::setThreadProfiler(nullptr);
   obs::setThreadRecorder(nullptr);
   obs::setThreadMetrics(nullptr);
+  shard.stats.thread_wall_ns = obs::prof::nowNs() - thread_start_ns;
 }
 
 std::size_t ShardedRuntime::convergedCount() const noexcept {
@@ -363,6 +419,12 @@ std::uint64_t ShardedRuntime::signalsDelivered() const noexcept {
 std::size_t ShardedRuntime::probeFailures() const noexcept {
   std::size_t n = 0;
   for (const ShardStats& stats : shard_stats_) n += stats.probes_failed;
+  return n;
+}
+
+std::int64_t ShardedRuntime::threadWallNs() const noexcept {
+  std::int64_t n = 0;
+  for (const ShardStats& stats : shard_stats_) n += stats.thread_wall_ns;
   return n;
 }
 

@@ -92,6 +92,16 @@ struct LoadConfig {
   // Keep serving the drained run's state for this long at the end of run()
   // (gives out-of-process pollers a window to take their last reading).
   std::int64_t ops_linger_ms = 0;
+
+  // ------------------------------------------------------ hot-path profiler
+  // Install a per-shard ProfileTable on every worker thread. Purely
+  // additive observability: the rollup and outcomes stay byte-identical
+  // with profiling on or off (tested), only the profile tables differ.
+  bool profile = false;
+  // Write merged profile exports (profile.json / profile.collapsed /
+  // profile.speedscope.json) into this directory after the run; non-empty
+  // implies `profile`.
+  std::string profile_dir;
 };
 
 // What happened to one call.
@@ -114,6 +124,7 @@ struct ShardStats {
   std::vector<std::string> failed_probes;  // call probe names, arrival order
   std::uint64_t flight_dumps = 0;
   std::uint64_t trace_dropped = 0;  // ring overflow (capture_traces runs)
+  std::int64_t thread_wall_ns = 0;  // this shard thread's own lifetime
 };
 
 class ShardedRuntime {
@@ -177,6 +188,21 @@ class ShardedRuntime {
   // Wall-clock seconds the worker threads ran (throughput denominator).
   [[nodiscard]] double wallSeconds() const noexcept { return wall_seconds_; }
 
+  // Sum of every worker thread's own lifetime in nanoseconds. When shards
+  // outnumber cores the threads time-slice and finish staggered, so
+  // wallSeconds() * shards overcounts the window before a thread starts or
+  // after it exits; this is the honest denominator for profile coverage.
+  [[nodiscard]] std::int64_t threadWallNs() const noexcept;
+
+  // Merged hot-path profile (empty unless config.profile). Per-shard tables
+  // merge in shard-index order — the same rank-order discipline as the
+  // metrics rollup — so the report is deterministic in structure (timings
+  // are wall-clock measurements and naturally vary run to run).
+  [[nodiscard]] bool profiled() const noexcept { return config_.profile; }
+  [[nodiscard]] const obs::ProfileReport& profileReport() const noexcept {
+    return profile_report_;
+  }
+
   [[nodiscard]] const LoadConfig& config() const noexcept { return config_; }
 
   // Live telemetry hub (nullptr unless the config enabled any of it). The
@@ -204,6 +230,8 @@ class ShardedRuntime {
   std::vector<std::vector<obs::TraceEvent>> shard_traces_;
   obs::MetricsRegistry rollup_;
   obs::Histogram setup_latency_;
+  std::vector<std::unique_ptr<obs::ProfileTable>> shard_profiles_;
+  obs::ProfileReport profile_report_;
   double wall_seconds_ = 0.0;
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "mc/seen_set.hpp"
+#include "obs/profiler.hpp"
 
 namespace cmc {
 
@@ -82,6 +83,10 @@ void expandFrontier(const std::vector<std::uint32_t>& frontier,
     if (slot >= frontier.size()) return;
     if (out_of_budget.load(std::memory_order_relaxed)) return;
     const std::uint32_t index = frontier[slot];
+    // Profiling sites here record only on threads with an installed table:
+    // the single-thread deterministic path profiles fully; parallel workers
+    // (no thread-local table) record nothing and race on nothing.
+    CMC_PROF_SCOPE("mc.expand_state");
     const PathSystem& system = *states[index];
     const std::vector<PathAction> actions = system.enabledActions();
     Expansion expansion;
@@ -95,9 +100,16 @@ void expandFrontier(const std::vector<std::uint32_t>& frontier,
         PathSystem successor = system;
         successor.apply(action);
         ByteWriter w;
-        successor.canonicalize(w);
+        {
+          CMC_PROF_SCOPE("mc.canonicalize");
+          successor.canonicalize(w);
+        }
         std::vector<std::uint8_t> bytes = w.take();
-        const std::uint64_t fp = fnv1a(bytes) & fingerprint_mask;
+        std::uint64_t fp;
+        {
+          CMC_PROF_SCOPE("mc.fingerprint");
+          fp = fnv1a(bytes) & fingerprint_mask;
+        }
         const SeenSet::Outcome got = seen.insert(fp, std::move(bytes));
         if (got.index == SeenSet::kNoIndex) {
           out_of_budget.store(true, std::memory_order_relaxed);
@@ -199,25 +211,29 @@ ExploreResult explore(const PathSystem& initial, const ExploreLimits& limits) {
     const auto expand_start = Clock::now();
     std::atomic<std::size_t> cursor{0};
     std::vector<WorkerBatch> batches(thread_count);
-    if (thread_count == 1) {
-      // Deterministic fallback: frontier slots in order, indices assigned in
-      // FIFO discovery order — identical to the historical explorer.
-      expandFrontier(frontier, cursor, states, seen, limits.fingerprint_mask,
-                     out_of_budget, batches[0]);
-    } else {
-      std::vector<std::thread> workers;
-      workers.reserve(thread_count);
-      for (std::size_t t = 0; t < thread_count; ++t) {
-        workers.emplace_back([&, t] {
-          expandFrontier(frontier, cursor, states, seen,
-                         limits.fingerprint_mask, out_of_budget, batches[t]);
-        });
+    {
+      CMC_PROF_SCOPE("mc.expand");
+      if (thread_count == 1) {
+        // Deterministic fallback: frontier slots in order, indices assigned
+        // in FIFO discovery order — identical to the historical explorer.
+        expandFrontier(frontier, cursor, states, seen, limits.fingerprint_mask,
+                       out_of_budget, batches[0]);
+      } else {
+        std::vector<std::thread> workers;
+        workers.reserve(thread_count);
+        for (std::size_t t = 0; t < thread_count; ++t) {
+          workers.emplace_back([&, t] {
+            expandFrontier(frontier, cursor, states, seen,
+                           limits.fingerprint_mask, out_of_budget, batches[t]);
+          });
+        }
+        for (std::thread& worker : workers) worker.join();
       }
-      for (std::thread& worker : workers) worker.join();
     }
     result.stats.expand_seconds += elapsed(expand_start);
 
     const auto merge_start = Clock::now();
+    CMC_PROF_SCOPE("mc.merge");
     const std::uint32_t total = seen.size();
     states.resize(total);
     result.bits.resize(total);  // value-init: expanded=false until committed

@@ -69,6 +69,12 @@ void FlightRecorder::setProbes(const ConvergenceProbes* probes) noexcept {
   probes_ = probes;
 }
 
+void FlightRecorder::setProfileSource(
+    std::function<std::string()> source) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_source_ = std::move(source);
+}
+
 std::string FlightRecorder::dump(std::string_view reason) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (dumps_ >= config_.max_dumps) return {};
@@ -105,6 +111,13 @@ std::string FlightRecorder::dump(std::string_view reason) {
   if (metrics_ != nullptr) {
     body += ",\"metrics\":";
     body += metrics_->json();
+  }
+  if (profile_source_) {
+    const std::string profile = profile_source_();
+    if (!profile.empty()) {
+      body += ",\"profile\":";
+      body += profile;
+    }
   }
   body += "}";
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -49,6 +50,12 @@ class FlightRecorder {
   void setTrace(TraceRecorder* trace) noexcept;
   void setMetrics(MetricsRegistry* metrics) noexcept;
   void setProbes(const ConvergenceProbes* probes) noexcept;
+  // Optional profile section: a callback returning ProfileReport JSON,
+  // invoked at dump time (a callback rather than a table pointer, so the
+  // host controls merging — per-shard table or fleet-merged view — and the
+  // recorder stays decoupled from the profiler). Must not re-enter the
+  // recorder. Empty string = section omitted.
+  void setProfileSource(std::function<std::string()> source) noexcept;
 
   // Write one post-mortem: reason, retained trace window, metrics
   // snapshot, probe state, and the critical path extracted from the
@@ -65,6 +72,7 @@ class FlightRecorder {
   TraceRecorder* trace_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   const ConvergenceProbes* probes_ = nullptr;
+  std::function<std::string()> profile_source_;
   std::uint64_t dumps_ = 0;
   std::string last_path_;
 };

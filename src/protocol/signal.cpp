@@ -1,5 +1,7 @@
 #include "protocol/signal.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace cmc {
 
 SignalKind kindOf(const Signal& signal) noexcept {
@@ -42,6 +44,7 @@ const Descriptor* descriptorOf(const Signal& signal) noexcept {
 }
 
 void serialize(const Signal& signal, ByteWriter& w) {
+  CMC_PROF_SCOPE("signal.serialize");
   w.u8(static_cast<std::uint8_t>(kindOf(signal)));
   std::visit(
       [&w](const auto& s) {
@@ -62,6 +65,7 @@ void serialize(const Signal& signal, ByteWriter& w) {
 }
 
 std::optional<Signal> deserializeSignal(ByteReader& r) {
+  CMC_PROF_SCOPE("signal.deserialize");
   const auto kind = static_cast<SignalKind>(r.u8());
   Signal out;
   switch (kind) {

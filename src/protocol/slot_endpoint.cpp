@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace cmc {
@@ -126,6 +127,9 @@ Signal SlotEndpoint::sendSelect(Selector selector) {
 }
 
 DeliverResult SlotEndpoint::deliver(const Signal& signal) {
+  // Same cost discipline as traceTransition below: one thread-local load
+  // when no profiler is installed; the model checker hammers this path.
+  CMC_PROF_SCOPE("slot.deliver");
   switch (kindOf(signal)) {
     case SignalKind::open: {
       const auto& open = std::get<OpenSignal>(signal);

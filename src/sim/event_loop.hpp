@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/time.hpp"
 
 namespace cmc {
@@ -42,11 +43,15 @@ class EventLoop {
   bool step() {
     if (queue_.empty()) return false;
     if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+    CMC_PROF_VALUE("loop.queue_depth", static_cast<std::int64_t>(queue_.size()));
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.when;
     ++executed_;
-    ev.handler();
+    {
+      CMC_PROF_SCOPE("loop.dispatch");
+      ev.handler();
+    }
     return true;
   }
 
@@ -61,16 +66,30 @@ class EventLoop {
   // grant resumes exactly where this one stopped.)
   bool runUntilIdle(SimDuration horizon = std::chrono::seconds(600)) {
     const SimTime limit = now_ + horizon;
+    // One wakeup = one grant of loop time; the batch is how many events it
+    // drained. Recorded only when a profiler is installed (value sites are
+    // a thread-local load when off, same as the dispatch span).
+    std::int64_t batch = 0;
     while (!queue_.empty()) {
-      if (queue_.top().when > limit) return false;
+      if (queue_.top().when > limit) {
+        CMC_PROF_VALUE("loop.batch", batch);
+        return false;
+      }
       step();
+      ++batch;
     }
+    CMC_PROF_VALUE("loop.batch", batch);
     return true;
   }
 
   // Run events up to and including `until`, leaving later events queued.
   void runUntil(SimTime until) {
-    while (!queue_.empty() && queue_.top().when <= until) step();
+    std::int64_t batch = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+      step();
+      ++batch;
+    }
+    CMC_PROF_VALUE("loop.batch", batch);
     if (now_ < until) now_ = until;
   }
 

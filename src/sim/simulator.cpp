@@ -2,6 +2,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -234,6 +235,7 @@ void Simulator::stimulate(Box& box, std::function<void()> fn,
       // to this stimulus's span via the context scope.
       obs::ActorScope scope(box.name());
       obs::ContextScope ctx_scope(self);
+      CMC_PROF_SCOPE("sim.stimulus");
       fn();
       drain(box);
     }
@@ -271,6 +273,7 @@ void Simulator::drain(Box& box) {
 }
 
 void Simulator::processOutput(Box& sender, Box::Output&& out) {
+  CMC_PROF_SCOPE("sim.process_output");
   const std::string from = sender.name();
   // Every output is stamped with the context of the stimulus that produced
   // it (empty when propagation is off or during static configuration), so
@@ -455,6 +458,7 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
                                     std::uint32_t tunnel,
                                     const std::string& from_box, Signal signal,
                                     obs::TraceContext ctx) {
+  CMC_PROF_SCOPE("sim.deliver_tunnel");
   auto cit = channels_.find(channel);
   if (cit == channels_.end()) return;  // torn down while in flight
   ChannelRecord& rec = cit->second;

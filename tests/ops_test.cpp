@@ -12,6 +12,7 @@
 #include "net/framing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops_server.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/snapshot.hpp"
 #include "util/bytes.hpp"
@@ -407,6 +408,104 @@ TEST_F(OpsEndpointTest, BareFramedConnSpeaksTheOpsProtocol) {
   EXPECT_EQ(in.str(), "text/plain");
   EXPECT_EQ(in.str(), "pong:rpc");
   EXPECT_TRUE(in.ok() && in.atEnd());
+}
+
+// ------------------------------------------------------------- profile verb
+// The `profile` verb is registered the same way LiveTelemetry registers it:
+// obs::profileResponse over a real report. It gets the full hostile-input
+// treatment of the suites above — malformed frames, bad sub-verbs, and
+// corruption must produce error responses or silent discards, never a dead
+// listener.
+
+class ProfileVerbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setThreadProfiler(&table_);
+    {
+      CMC_PROF_SCOPE("serve");
+      { CMC_PROF_SCOPE("nested"); }
+    }
+    obs::setThreadProfiler(nullptr);
+    report_ = table_.report();
+
+    server_ = std::make_unique<obs::OpsServer>(/*port=*/0);
+    ASSERT_TRUE(server_->ok());
+    server_->handle("profile", "application/json",
+                    [this](const std::string& args) {
+                      return obs::profileResponse(report_, args);
+                    });
+    server_->start();
+  }
+
+  std::unique_ptr<obs::OpsClient> client() {
+    auto c = obs::OpsClient::connect("127.0.0.1", server_->port());
+    EXPECT_NE(c, nullptr);
+    return c;
+  }
+
+  obs::ProfileTable table_{"ops_test"};
+  obs::ProfileReport report_;
+  std::unique_ptr<obs::OpsServer> server_;
+};
+
+TEST_F(ProfileVerbTest, ServesAllThreeFormats) {
+  auto c = client();
+  auto json = c->request("profile");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_TRUE(json->ok);
+  EXPECT_EQ(json->content_type, "application/json");
+  EXPECT_EQ(json->body, report_.json());
+  auto collapsed = c->request("profile", "collapsed");
+  ASSERT_TRUE(collapsed.has_value());
+  EXPECT_TRUE(collapsed->ok);
+  EXPECT_NE(collapsed->body.find("serve;nested"), std::string::npos);
+  auto speedscope = c->request("profile", "speedscope");
+  ASSERT_TRUE(speedscope.has_value());
+  EXPECT_TRUE(speedscope->ok);
+  EXPECT_NE(speedscope->body.find("\"type\":\"sampled\""), std::string::npos);
+}
+
+TEST_F(ProfileVerbTest, UnknownSubVerbIsAnErrorResponse) {
+  auto c = client();
+  auto r = c->request("profile", "xml");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+  EXPECT_NE(r->body.find("unknown profile sub-verb"), std::string::npos);
+  // Same connection keeps working.
+  auto ok = c->request("profile", "json");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
+}
+
+TEST_F(ProfileVerbTest, CorruptFrameThenProfileStillServes) {
+  ByteWriter body;
+  body.str("profile");
+  body.str("collapsed");
+  std::vector<std::uint8_t> wire = net::encodeRawFrame(body.bytes());
+  wire.back() ^= 0x55;  // checksum failure: discarded as loss, no response
+  auto c = client();
+  ASSERT_TRUE(c->sendRaw(wire));
+  auto r = c->request("profile", "collapsed");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+}
+
+TEST_F(ProfileVerbTest, MalformedArgsBodyIsAnErrorResponse) {
+  // A well-formed verb string followed by an args string whose declared
+  // length runs past the frame: the request fails to decode.
+  ByteWriter body;
+  body.str("profile");
+  body.u32(0xFFFF);  // args length with no bytes behind it
+  auto c = client();
+  ASSERT_TRUE(c->sendRaw(net::encodeRawFrame(body.bytes())));
+  auto r = c->readResponse();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+  // Listener survives for a fresh connection too.
+  auto fresh = client();
+  auto ok = fresh->request("profile");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->ok);
 }
 
 TEST_F(OpsEndpointTest, ThrowingHandlerBecomesErrorResponse) {
