@@ -190,6 +190,35 @@ int main() {
                    "profile attributes >=90% of shard wall time (coverage=" +
                        std::to_string(coverage) + ")");
     if (runtime.metricsJson() != first_rollup || coverage < 0.9) return 1;
+
+    // Hot-path allocation verdicts: the small-buffer/interning/pooled-loop
+    // memory model brought sim.deliver_tunnel from ~3.6 to ~0 allocs/signal
+    // and sim.process_output from ~3.0 to ~0 allocs/run. Hold the line at
+    // <=1.0 (same budget as tests/alloc_budget_test.cpp) so a capture-size
+    // or string-key regression fails the bench, not just the unit gate.
+    bool alloc_budget_ok = true;
+    for (const char* site : {"sim.deliver_tunnel", "sim.process_output"}) {
+      std::uint64_t site_calls = 0;
+      std::uint64_t site_allocs = 0;
+      for (const auto& node : runtime.profileReport().nodes()) {
+        if (node.site == site) {
+          site_calls += node.calls;
+          site_allocs += node.allocs;
+        }
+      }
+      const double per_op =
+          site_calls ? static_cast<double>(site_allocs) /
+                           static_cast<double>(site_calls)
+                     : 0.0;
+      std::printf("  %s: %.3f allocs/op (%llu allocs / %llu ops)\n", site,
+                  per_op, static_cast<unsigned long long>(site_allocs),
+                  static_cast<unsigned long long>(site_calls));
+      if (site_calls == 0 || per_op > 1.0) alloc_budget_ok = false;
+    }
+    bench::verdict(alloc_budget_ok,
+                   "signal hot path stays within 1 alloc/op on "
+                   "sim.deliver_tunnel and sim.process_output");
+    if (!alloc_budget_ok) return 1;
   }
   return 0;
 }

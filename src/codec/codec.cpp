@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
 
 namespace cmc {
 
@@ -64,15 +65,25 @@ std::ostream& operator<<(std::ostream& os, Codec codec) {
   return os << info(codec).name;
 }
 
-std::vector<Codec> codecsFor(Medium medium) {
-  std::vector<Codec> out;
-  for (const auto& ci : kCodecs) {
-    if (ci.codec != Codec::noMedia && ci.medium == medium) out.push_back(ci.codec);
-  }
-  std::sort(out.begin(), out.end(), [](Codec a, Codec b) {
-    return info(a).fidelity > info(b).fidelity;
-  });
-  return out;
+std::span<const Codec> codecsFor(Medium medium) {
+  // Built once; every call afterwards is a table lookup with no allocation.
+  // stable_sort keeps registry order among equal-fidelity codecs, matching
+  // what the previous per-call sort produced.
+  static const std::array<std::vector<Codec>, 4> tables = [] {
+    std::array<std::vector<Codec>, 4> t;
+    for (const auto& ci : kCodecs) {
+      if (ci.codec != Codec::noMedia) {
+        t[static_cast<std::size_t>(ci.medium)].push_back(ci.codec);
+      }
+    }
+    for (auto& list : t) {
+      std::stable_sort(list.begin(), list.end(), [](Codec a, Codec b) {
+        return info(a).fidelity > info(b).fidelity;
+      });
+    }
+    return t;
+  }();
+  return tables[static_cast<std::size_t>(medium)];
 }
 
 }  // namespace cmc

@@ -12,7 +12,8 @@
 #include <ostream>
 #include <span>
 #include <string_view>
-#include <vector>
+
+#include "util/small_vec.hpp"
 
 namespace cmc {
 
@@ -73,8 +74,14 @@ struct CodecInfo {
 
 std::ostream& operator<<(std::ostream& os, Codec codec);
 
+// A codec list as carried by descriptors: priority order, best first. Lists
+// are 1-3 entries in practice, so they live inline (no heap) up to 4; the
+// signal hot path copies these on every hop (see DESIGN.md §4.6).
+using CodecList = SmallVec<Codec, 4>;
+
 // All real codecs of a medium, best fidelity first. Useful default
-// capability set for endpoints.
-[[nodiscard]] std::vector<Codec> codecsFor(Medium medium);
+// capability set for endpoints. The returned span aliases a static table
+// built once per process; the order is stable across calls.
+[[nodiscard]] std::span<const Codec> codecsFor(Medium medium);
 
 }  // namespace cmc

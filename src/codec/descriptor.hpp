@@ -19,7 +19,6 @@
 #include <ostream>
 #include <span>
 #include <string>
-#include <vector>
 
 #include "codec/codec.hpp"
 #include "util/bytes.hpp"
@@ -41,9 +40,9 @@ struct MediaAddress {
 std::ostream& operator<<(std::ostream& os, const MediaAddress& addr);
 
 struct Descriptor {
-  DescriptorId id;            // globally unique; selectors answer by this id
-  MediaAddress addr;          // where to send media for this receiver
-  std::vector<Codec> codecs;  // priority order, best first; {noMedia} if muted
+  DescriptorId id;    // globally unique; selectors answer by this id
+  MediaAddress addr;  // where to send media for this receiver
+  CodecList codecs;   // priority order, best first; {noMedia} if muted
 
   [[nodiscard]] bool isNoMedia() const noexcept {
     return codecs.size() == 1 && codecs.front() == Codec::noMedia;

@@ -1,0 +1,55 @@
+#include "codec/descriptor_intern.hpp"
+
+namespace cmc {
+
+namespace {
+
+// Field-wise FNV-1a over the logical content — no serialization buffer, so
+// hashing a descriptor on the intern hot path allocates nothing.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t DescriptorTable::hashOf(const Descriptor& d) noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, d.id.value());
+  mix(h, d.addr.ip);
+  mix(h, d.addr.port);
+  mix(h, d.codecs.size());
+  for (Codec c : d.codecs) mix(h, static_cast<std::uint16_t>(c));
+  return h;
+}
+
+DescriptorTable& DescriptorTable::instance() {
+  static DescriptorTable table;
+  return table;
+}
+
+InternedDescriptor DescriptorTable::intern(const Descriptor& d) {
+  const std::uint64_t h = hashOf(d);
+  Shard& shard = shards_[h % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& chain = shard.buckets[h];
+  for (const auto& entry : chain) {
+    if (entry->desc == d) return InternedDescriptor(entry.get());
+  }
+  chain.push_back(std::make_unique<InternedDescriptor::Entry>(
+      InternedDescriptor::Entry{d, h}));
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return InternedDescriptor(chain.back().get());
+}
+
+InternedDescriptor& InternedDescriptor::operator=(const Descriptor& d) {
+  *this = DescriptorTable::instance().intern(d);
+  return *this;
+}
+
+}  // namespace cmc

@@ -31,6 +31,7 @@
 #include <ostream>
 #include <string_view>
 
+#include "codec/descriptor_intern.hpp"
 #include "protocol/signal.hpp"
 #include "util/ids.hpp"
 
@@ -89,7 +90,9 @@ class SlotEndpoint {
   [[nodiscard]] std::optional<Medium> medium() const noexcept { return medium_; }
 
   // Most recent descriptor received in an open, oack, or describe signal.
-  [[nodiscard]] const std::optional<Descriptor>& remoteDescriptor() const noexcept {
+  // Interned: the handle points into the process-wide DescriptorTable, so
+  // caching a descriptor here never clones its codec list.
+  [[nodiscard]] const InternedDescriptor& remoteDescriptor() const noexcept {
     return remote_descriptor_;
   }
   // Most recent selector received in a select signal.
@@ -158,7 +161,7 @@ class SlotEndpoint {
   bool stabilizing_ = false;
   ProtocolState state_ = ProtocolState::closed;
   std::optional<Medium> medium_;
-  std::optional<Descriptor> remote_descriptor_;
+  InternedDescriptor remote_descriptor_;
   std::optional<Selector> last_selector_received_;
   DescriptorId last_descriptor_sent_;
   std::optional<Selector> last_selector_sent_;

@@ -4,35 +4,52 @@
 // order, which keeps simulations deterministic for a fixed seed. Virtual
 // time only advances when the loop runs — there is no wall-clock coupling,
 // so a simulated hour of signaling finishes in milliseconds of CPU.
+//
+// Storage is a slab + free list: event nodes are pooled per loop and the
+// priority queue orders slab indices, so steady-state scheduling performs
+// no heap allocation — a node is recycled the moment its handler starts.
+// Handlers are InlineFn, not std::function: captures up to kHandlerCapacity
+// bytes (every simulator hot-path lambda) live inside the node itself
+// (DESIGN.md §4.6). Delivery is batched: one wakeup drains the whole run of
+// equal-timestamp events, so a burst of same-tunnel signals costs one
+// queue-depth sample and one batch record, not one per signal.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "obs/profiler.hpp"
+#include "util/inline_fn.hpp"
 #include "util/time.hpp"
 
 namespace cmc {
 
 class EventLoop {
  public:
-  using Handler = std::function<void()>;
+  // Sized for the largest hot-path capture (delivery lambda: Signal +
+  // trace context + route coordinates). Bigger captures still work — they
+  // take the one-allocation fallback inside InlineFn.
+  static constexpr std::size_t kHandlerCapacity = 192;
+  using Handler = InlineFn<kHandlerCapacity>;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  // Schedule `handler` to run `delay` after the current time.
-  void schedule(SimDuration delay, Handler handler) {
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(handler)});
+  // Schedule `handler` to run `delay` after the current time. The callable
+  // is constructed directly into a pooled node; no per-event allocation as
+  // long as it fits kHandlerCapacity.
+  template <typename F>
+  void schedule(SimDuration delay, F&& handler) {
+    push(now_ + delay, Handler(std::forward<F>(handler)));
   }
 
-  void scheduleAt(SimTime when, Handler handler) {
-    queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(handler)});
+  template <typename F>
+  void scheduleAt(SimTime when, F&& handler) {
+    push(when < now_ ? now_ : when, Handler(std::forward<F>(handler)));
   }
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   // Events executed since construction (observability: event-loop
   // throughput = executed() / wall time).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
@@ -41,17 +58,10 @@ class EventLoop {
 
   // Run one event; returns false if none pending.
   bool step() {
-    if (queue_.empty()) return false;
-    if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
-    CMC_PROF_VALUE("loop.queue_depth", static_cast<std::int64_t>(queue_.size()));
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ++executed_;
-    {
-      CMC_PROF_SCOPE("loop.dispatch");
-      ev.handler();
-    }
+    if (heap_.empty()) return false;
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+    CMC_PROF_VALUE("loop.queue_depth", static_cast<std::int64_t>(heap_.size()));
+    stepOne();
     return true;
   }
 
@@ -66,46 +76,122 @@ class EventLoop {
   // grant resumes exactly where this one stopped.)
   bool runUntilIdle(SimDuration horizon = std::chrono::seconds(600)) {
     const SimTime limit = now_ + horizon;
-    // One wakeup = one grant of loop time; the batch is how many events it
-    // drained. Recorded only when a profiler is installed (value sites are
-    // a thread-local load when off, same as the dispatch span).
-    std::int64_t batch = 0;
-    while (!queue_.empty()) {
-      if (queue_.top().when > limit) {
-        CMC_PROF_VALUE("loop.batch", batch);
-        return false;
-      }
-      step();
-      ++batch;
+    while (!heap_.empty()) {
+      if (slab_[heap_.front()].when > limit) return false;
+      drainBatch(slab_[heap_.front()].when);
     }
-    CMC_PROF_VALUE("loop.batch", batch);
     return true;
   }
 
   // Run events up to and including `until`, leaving later events queued.
   void runUntil(SimTime until) {
-    std::int64_t batch = 0;
-    while (!queue_.empty() && queue_.top().when <= until) {
-      step();
-      ++batch;
+    while (!heap_.empty() && slab_[heap_.front()].when <= until) {
+      drainBatch(slab_[heap_.front()].when);
     }
-    CMC_PROF_VALUE("loop.batch", batch);
     if (now_ < until) now_ = until;
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Handler handler;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
 
-    bool operator>(const Event& other) const noexcept {
-      if (when != other.when) return other.when < when;
-      return seq > other.seq;
-    }
+  struct Node {
+    SimTime when;
+    std::uint64_t seq = 0;
+    Handler handler;
+    std::uint32_t next_free = kNil;
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // (when, seq) strict ordering: earlier time first, FIFO within a time.
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Node& na = slab_[a];
+    const Node& nb = slab_[b];
+    if (na.when != nb.when) return na.when < nb.when;
+    return na.seq < nb.seq;
+  }
+
+  void push(SimTime when, Handler handler) {
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = slab_[idx].next_free;
+    } else {
+      idx = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    Node& node = slab_[idx];
+    node.when = when;
+    node.seq = next_seq_++;
+    node.handler = std::move(handler);
+    heap_.push_back(idx);
+    siftUp(heap_.size() - 1);
+  }
+
+  // Pop the top node, recycle it, run its handler. The handler is moved out
+  // first: it may schedule new events, which can reuse the freed node or
+  // grow the slab.
+  void stepOne() {
+    const std::uint32_t idx = heap_.front();
+    popTop();
+    Node& node = slab_[idx];
+    now_ = node.when;
+    Handler handler = std::move(node.handler);
+    node.handler.reset();
+    node.next_free = free_head_;
+    free_head_ = idx;
+    ++executed_;
+    {
+      CMC_PROF_SCOPE("loop.dispatch");
+      handler();
+    }
+  }
+
+  // One wakeup: drain the full run of events at timestamp `when`, including
+  // any scheduled *during* the batch for the same instant (they carry later
+  // sequence numbers, so ordering is unchanged). One queue-depth sample and
+  // one batch record per wakeup instead of one per event.
+  void drainBatch(SimTime when) {
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+    CMC_PROF_VALUE("loop.queue_depth", static_cast<std::int64_t>(heap_.size()));
+    std::int64_t batch = 0;
+    while (!heap_.empty() && slab_[heap_.front()].when == when) {
+      stepOne();
+      ++batch;
+    }
+    CMC_PROF_VALUE("loop.batch", batch);
+  }
+
+  void popTop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
+  }
+
+  void siftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void siftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && before(heap_[l], heap_[best])) best = l;
+      if (r < n && before(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Node> slab_;            // pooled event nodes, recycled in place
+  std::vector<std::uint32_t> heap_;   // binary heap of slab indices
+  std::uint32_t free_head_ = kNil;    // head of the free-node chain
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <array>
+
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -7,6 +9,24 @@
 #include "util/log.hpp"
 
 namespace cmc {
+
+namespace {
+
+// Pre-composed per-kind counter names: charging "sim.signal.open" on every
+// delivery must not rebuild the string.
+const std::string& signalCounterName(SignalKind kind) {
+  static const std::array<std::string, 6> names = [] {
+    std::array<std::string, 6> out;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::string("sim.signal.") +
+               std::string(toString(static_cast<SignalKind>(i)));
+    }
+    return out;
+  }();
+  return names[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
 
 Simulator::Simulator(TimingModel timing, std::uint64_t seed)
     : timing_(timing), rng_(seed) {}
@@ -65,7 +85,7 @@ Box& Simulator::box(const std::string& name) {
 void Simulator::registerBox(std::unique_ptr<Box> box) {
   const std::string& name = box->name();
   if (boxes_.count(name) != 0) throw std::logic_error("duplicate box: " + name);
-  busy_until_[name] = SimTime{};
+  box_clock_[name] = BoxClock{SimTime{}, "sim.box_busy_us." + name};
   if (fault_plan_ != nullptr) box->enableStabilization(true);
   boxes_.emplace(name, std::move(box));
   if (fault_plan_ != nullptr) scheduleRefreshTick(name);
@@ -84,8 +104,8 @@ ChannelId Simulator::connect(const std::string& a, const std::string& b,
   rec.slotsB = box_b.addChannelEnd(rec.id, tunnels, /*initiator=*/false, "", a);
   rec.aliveA = rec.aliveB = true;
   for (std::uint32_t t = 0; t < tunnels; ++t) {
-    routes_[{a, rec.slotsA[t]}] = Route{rec.id, t, true};
-    routes_[{b, rec.slotsB[t]}] = Route{rec.id, t, false};
+    routes_[{box_a.id().value(), rec.slotsA[t]}] = Route{rec.id, t, true};
+    routes_[{box_b.id().value(), rec.slotsB[t]}] = Route{rec.id, t, false};
   }
   const ChannelId id = rec.id;
   channels_.emplace(id, std::move(rec));
@@ -192,11 +212,11 @@ void Simulator::refreshTick(const std::string& name) {
   }
 }
 
-void Simulator::stimulate(Box& box, std::function<void()> fn,
-                          obs::TraceContext cause) {
+void Simulator::stimulate(Box& box, StimulusFn fn, obs::TraceContext cause) {
   // Serialize on the box: processing starts when the box frees up and takes
   // c; outputs appear at completion.
-  SimTime& busy = busy_until_[box.name()];
+  BoxClock& clock = box_clock_[box.name()];
+  SimTime& busy = clock.busy_until;
   const SimTime start = loop_.now() < busy ? busy : loop_.now();
   const SimTime done = start + timing_.processing;
   busy = done;
@@ -207,13 +227,13 @@ void Simulator::stimulate(Box& box, std::function<void()> fn,
                              done - start)
                              .count();
     m->counter("sim.busy_us").add(static_cast<std::uint64_t>(busy_us));
-    m->counter("sim.box_busy_us." + box.name())
-        .add(static_cast<std::uint64_t>(busy_us));
+    m->counter(clock.busy_counter).add(static_cast<std::uint64_t>(busy_us));
   }
   const std::int64_t start_us =
       std::chrono::duration_cast<std::chrono::microseconds>(start.sinceStart())
           .count();
-  loop_.scheduleAt(done, [this, &box, start_us, cause, fn = std::move(fn)]() {
+  loop_.scheduleAt(done, [this, &box, start_us, cause,
+                          fn = std::move(fn)]() mutable {
     // A stimulus queued before a crash dies with the box's volatile state.
     if (boxDown(box.name())) {
       if (fault_plan_ != nullptr) ++fault_plan_->counters().dead_box_drops;
@@ -325,15 +345,26 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
       const SimDuration when = latency + fate.extra + fate.copy_spacing * copy;
       Signal signal_copy = item.signal;
       // Duplicates carry the same context: one trace id, one parent span;
-      // each delivery then becomes its own span on the receiver.
-      loop_.schedule(when, [this, to, channel = route.channel,
-                            tunnel = route.tunnel, from, cause,
+      // each delivery then becomes its own span on the receiver. The event
+      // carries route coordinates, not box-name strings: with the codec
+      // list inline in the descriptor, the whole capture fits the event
+      // node and scheduling a delivery allocates nothing.
+      loop_.schedule(when, [this, channel = route.channel,
+                            tunnel = route.tunnel,
+                            to_side_a = !route.from_side_a, cause,
                             signal = std::move(signal_copy)]() mutable {
-        deliverTunnelSignal(to, channel, tunnel, from, std::move(signal),
+        deliverTunnelSignal(channel, tunnel, to_side_a, std::move(signal),
                             cause);
       });
     }
   }
+
+  // Everything below is call-lifecycle administration — meta signals,
+  // timers, channel creation and teardown — which inherently allocates
+  // (new protocol state, new routes). It runs under its own site so
+  // sim.process_output measures the per-signal forwarding path alone; the
+  // admin cost stays visible in profiles under sim.output_admin.
+  CMC_PROF_SCOPE("sim.output_admin");
 
   for (auto& [channel_id, meta] : out.meta) {
     auto it = channels_.find(channel_id);
@@ -389,7 +420,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
                                       request.tag, request.target);
     rec.aliveA = true;
     for (std::uint32_t t = 0; t < rec.tunnels; ++t) {
-      routes_[{from, rec.slotsA[t]}] = Route{rec.id, t, true};
+      routes_[{sender.id().value(), rec.slotsA[t]}] = Route{rec.id, t, true};
     }
     const ChannelId id = rec.id;
     channels_.emplace(id, std::move(rec));
@@ -405,7 +436,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
       r.slotsB = callee.addChannelEnd(id, r.tunnels, /*initiator=*/false, "", from);
       r.aliveB = true;
       for (std::uint32_t t = 0; t < r.tunnels; ++t) {
-        routes_[{callee.name(), r.slotsB[t]}] = Route{id, t, false};
+        routes_[{callee.id().value(), r.slotsB[t]}] = Route{id, t, false};
       }
       // Materialization mutates box state (slots appear, goals may attach
       // in the incoming-channel hook) outside any stimulus, so re-evaluate
@@ -427,7 +458,7 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
     const bool from_a = rec.boxA == from;
     (from_a ? rec.aliveA : rec.aliveB) = false;
     for (SlotId s : (from_a ? rec.slotsA : rec.slotsB)) {
-      routes_.erase({from, s});
+      routes_.erase({sender.id().value(), s});
     }
     const std::string to = from_a ? rec.boxB : rec.boxA;
     const bool peer_alive = from_a ? rec.aliveB : rec.aliveA;
@@ -443,7 +474,9 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
             ChannelRecord& r = cit2->second;
             const bool was_a = r.boxA == to;
             (was_a ? r.aliveA : r.aliveB) = false;
-            for (SlotId s : (was_a ? r.slotsA : r.slotsB)) routes_.erase({to, s});
+            for (SlotId s : (was_a ? r.slotsA : r.slotsB)) {
+              routes_.erase({target.id().value(), s});
+            }
             if (!r.aliveA && !r.aliveB) channels_.erase(cit2);
           }
         }, cause);
@@ -454,15 +487,16 @@ void Simulator::processOutput(Box& sender, Box::Output&& out) {
   }
 }
 
-void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel,
-                                    std::uint32_t tunnel,
-                                    const std::string& from_box, Signal signal,
+void Simulator::deliverTunnelSignal(ChannelId channel, std::uint32_t tunnel,
+                                    bool to_side_a, Signal signal,
                                     obs::TraceContext ctx) {
   CMC_PROF_SCOPE("sim.deliver_tunnel");
   auto cit = channels_.find(channel);
   if (cit == channels_.end()) return;  // torn down while in flight
   ChannelRecord& rec = cit->second;
-  const bool to_a = rec.boxA == to_box;
+  const bool to_a = to_side_a;
+  const std::string& to_box = to_a ? rec.boxA : rec.boxB;
+  const std::string& from_box = to_a ? rec.boxB : rec.boxA;
   if ((to_a && !rec.aliveA) || (!to_a && !rec.aliveB)) return;
   const auto& slots = to_a ? rec.slotsA : rec.slotsB;
   if (tunnel >= slots.size()) return;
@@ -479,9 +513,7 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
   Box& target = box(to_box);
   ++signals_delivered_;
   if (obs::MetricsRegistry* m = obs::metrics()) {
-    m->counter(std::string("sim.signal.") +
-               std::string(toString(kindOf(signal))))
-        .add();
+    m->counter(signalCounterName(kindOf(signal))).add();
   }
   if (obs::TraceRecorder* trace = obs::recorder()) {
     obs::TraceEvent ev;
@@ -508,7 +540,7 @@ void Simulator::deliverTunnelSignal(const std::string& to_box, ChannelId channel
 }
 
 Simulator::Route Simulator::routeOf(const Box& box, SlotId slot) const {
-  auto it = routes_.find({box.name(), slot});
+  auto it = routes_.find({box.id().value(), slot});
   if (it == routes_.end()) {
     throw std::logic_error("no route for slot on box " + box.name());
   }

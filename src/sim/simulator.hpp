@@ -28,6 +28,7 @@
 #include "sim/event_loop.hpp"
 #include "sim/fault.hpp"
 #include "sim/timing.hpp"
+#include "util/inline_fn.hpp"
 
 namespace cmc::obs {
 class TraceRecorder;
@@ -156,13 +157,16 @@ class Simulator {
   };
 
   void registerBox(std::unique_ptr<Box> box);
+  // A stimulus body. Inline capacity covers the hot case (a Signal plus a
+  // slot and box reference) so queuing a stimulus allocates nothing; bigger
+  // closures from cold paths spill to the heap inside InlineFn.
+  using StimulusFn = InlineFn<120>;
   // Run `fn` as a stimulus on `box` now: serialize on the box (busy time),
   // charge c, then execute and drain outputs. `cause` is the causal parent
   // (the context stamped on the signal/timer that triggered this stimulus);
   // empty for roots — user injections, refresh ticks, restarts — which
   // start a fresh trace when propagation is enabled.
-  void stimulate(Box& box, std::function<void()> fn,
-                 obs::TraceContext cause = {});
+  void stimulate(Box& box, StimulusFn fn, obs::TraceContext cause = {});
   // Execute a scheduled CrashEvent: mark the box down, drop its queued
   // stimuli, and schedule the restart (Box::crashRestart) at the end of
   // the outage.
@@ -173,9 +177,14 @@ class Simulator {
   void refreshTick(const std::string& name);
   void drain(Box& box);
   void processOutput(Box& box, Box::Output&& out);
-  void deliverTunnelSignal(const std::string& to_box, ChannelId channel,
-                           std::uint32_t tunnel, const std::string& from_box,
-                           Signal signal, obs::TraceContext ctx);
+  // Deliver a tunnel signal scheduled by processOutput. The in-flight event
+  // carries only route coordinates (channel id, tunnel, destination side) —
+  // box names are resolved from the channel record on arrival, so the
+  // capture is small and string-free; a torn-down channel means the signal
+  // is simply lost, same as before.
+  void deliverTunnelSignal(ChannelId channel, std::uint32_t tunnel,
+                           bool to_side_a, Signal signal,
+                           obs::TraceContext ctx);
 
   struct Route {
     ChannelId channel;
@@ -193,9 +202,16 @@ class Simulator {
   std::uint64_t next_channel_id_ = 1;
   std::map<std::string, std::unique_ptr<Box>> boxes_;
   std::map<ChannelId, ChannelRecord> channels_;
-  // (box name, slot) -> route, maintained as ends come and go.
-  std::map<std::pair<std::string, SlotId>, Route> routes_;
-  std::map<std::string, SimTime> busy_until_;
+  // (box id, slot) -> route, maintained as ends come and go. Keyed by the
+  // numeric box id so hot-path lookups build no string key.
+  std::map<std::pair<std::uint64_t, SlotId>, Route> routes_;
+  // Per-box serial-server clock plus the box's pre-composed busy-time
+  // counter name (so charging busy time never concatenates strings).
+  struct BoxClock {
+    SimTime busy_until;
+    std::string busy_counter;
+  };
+  std::map<std::string, BoxClock> box_clock_;
   std::uint64_t signals_delivered_ = 0;
   obs::ConvergenceProbes probes_;
   FaultPlan* fault_plan_ = nullptr;  // not owned

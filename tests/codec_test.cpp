@@ -38,6 +38,27 @@ TEST(CodecRegistry, CodecsForMediumSortedByFidelity) {
   for (Codec c : audio) EXPECT_TRUE(codecMatchesMedium(c, Medium::audio));
 }
 
+TEST(CodecRegistry, CodecsForIsCachedAndOrderStable) {
+  // codecsFor returns a view of a per-process static table: repeated calls
+  // alias the same storage (no per-call rebuild) and the order never varies.
+  auto a = codecsFor(Medium::audio);
+  auto b = codecsFor(Medium::audio);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.size(), b.size());
+  // Exact expected order: fidelity descending, registry order among ties
+  // (g711u before g711a, both fidelity 6).
+  const std::vector<Codec> want{Codec::l16,  Codec::g711u, Codec::g711a,
+                                Codec::g722, Codec::g726,  Codec::g729,
+                                Codec::gsmFr};
+  ASSERT_EQ(a.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(a[i], want[i]);
+  // Video table is independent and also stable.
+  auto v1 = codecsFor(Medium::video);
+  auto v2 = codecsFor(Medium::video);
+  EXPECT_EQ(v1.data(), v2.data());
+  EXPECT_EQ(v1.front(), Codec::mpeg2);
+}
+
 TEST(CodecRegistry, NoMediaMatchesNoMedium) {
   EXPECT_FALSE(codecMatchesMedium(Codec::noMedia, Medium::audio));
   EXPECT_FALSE(codecMatchesMedium(Codec::noMedia, Medium::data));
@@ -66,7 +87,7 @@ TEST_F(DescriptorTest, MakeDescriptorOffersCodecs) {
   auto d = makeDescriptor(DescriptorId{1}, addr_, audio_, /*muteIn=*/false);
   EXPECT_FALSE(d.isNoMedia());
   EXPECT_TRUE(d.wellFormed());
-  EXPECT_EQ(d.codecs, audio_);
+  EXPECT_EQ(d.codecs, CodecList(audio_.begin(), audio_.end()));
 }
 
 TEST_F(DescriptorTest, MuteInProducesNoMediaDescriptor) {
@@ -114,11 +135,11 @@ TEST(Selector, SerializationRoundTrip) {
 
 class CodecChoiceTest : public ::testing::Test {
  protected:
-  Descriptor offer(std::vector<Codec> codecs) {
+  Descriptor offer(std::initializer_list<Codec> codecs) {
     Descriptor d;
     d.id = DescriptorId{1};
     d.addr = MediaAddress::parse("10.0.0.1", 2000);
-    d.codecs = std::move(codecs);
+    d.codecs = codecs;
     return d;
   }
 };

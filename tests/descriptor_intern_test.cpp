@@ -1,0 +1,148 @@
+// DescriptorTable hash-consing properties.
+//
+// The refactor that interned descriptors is only sound if (a) equal
+// descriptors always intern to the same handle, (b) the interned form
+// serializes byte-identically to the plain form (the wire format must not
+// know interning exists), and (c) concurrent interning from many threads
+// yields exactly one entry. Each property is pinned here.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "codec/descriptor_intern.hpp"
+#include "util/bytes.hpp"
+
+namespace cmc {
+namespace {
+
+Descriptor sample(std::uint64_t id, std::uint16_t port,
+                  std::initializer_list<Codec> codecs) {
+  Descriptor d;
+  d.id = DescriptorId{id};
+  d.addr = MediaAddress::parse("10.1.2.3", port);
+  d.codecs = codecs;
+  return d;
+}
+
+TEST(DescriptorIntern, EqualDescriptorsInternToSameHandle) {
+  auto& table = DescriptorTable::instance();
+  const Descriptor d1 = sample(901, 4000, {Codec::g711u, Codec::g726});
+  const Descriptor d2 = sample(901, 4000, {Codec::g711u, Codec::g726});
+  ASSERT_EQ(d1, d2);
+  InternedDescriptor h1 = table.intern(d1);
+  InternedDescriptor h2 = table.intern(d2);
+  EXPECT_EQ(h1, h2);  // pointer equality: hash-consing invariant
+  EXPECT_EQ(&*h1, &*h2);
+}
+
+TEST(DescriptorIntern, DistinctDescriptorsGetDistinctHandles) {
+  auto& table = DescriptorTable::instance();
+  InternedDescriptor a = table.intern(sample(902, 4000, {Codec::g711u}));
+  InternedDescriptor b = table.intern(sample(902, 4001, {Codec::g711u}));
+  InternedDescriptor c = table.intern(sample(902, 4000, {Codec::g726}));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(DescriptorIntern, SerializeIsByteIdenticalToPlain) {
+  const Descriptor plain =
+      sample(903, 5004, {Codec::l16, Codec::g711u, Codec::g729});
+  InternedDescriptor handle = DescriptorTable::instance().intern(plain);
+
+  ByteWriter w_plain;
+  plain.serialize(w_plain);
+  ByteWriter w_interned;
+  handle->serialize(w_interned);
+  ASSERT_EQ(w_plain.bytes().size(), w_interned.bytes().size());
+  EXPECT_TRUE(std::equal(w_plain.bytes().begin(), w_plain.bytes().end(),
+                         w_interned.bytes().begin()));
+}
+
+TEST(DescriptorIntern, DeserializedDescriptorInternsToSameHandle) {
+  const Descriptor original = sample(904, 6000, {Codec::g722, Codec::gsmFr});
+  InternedDescriptor h1 = DescriptorTable::instance().intern(original);
+
+  ByteWriter w;
+  original.serialize(w);
+  ByteReader r{w.bytes()};
+  const Descriptor round = Descriptor::deserialize(r);
+  ASSERT_TRUE(r.ok());
+  InternedDescriptor h2 = DescriptorTable::instance().intern(round);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(DescriptorIntern, HandleMimicsOptionalInterface) {
+  InternedDescriptor h;
+  EXPECT_FALSE(h.has_value());
+  EXPECT_FALSE(static_cast<bool>(h));
+
+  h = sample(905, 7000, {Codec::g711a});  // interning assignment
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->id, DescriptorId{905});
+  EXPECT_EQ((*h).addr.port, 7000);
+
+  h.reset();
+  EXPECT_FALSE(h.has_value());
+}
+
+TEST(DescriptorIntern, CachedHashMatchesStructuralHash) {
+  const Descriptor d = sample(906, 8000, {Codec::g726, Codec::g729});
+  InternedDescriptor h = DescriptorTable::instance().intern(d);
+  EXPECT_EQ(h.hash(), DescriptorTable::hashOf(d));
+  // Equal content hashes equal regardless of container state.
+  Descriptor d2 = d;
+  d2.codecs.reserve(64);  // spill to heap; content unchanged
+  EXPECT_EQ(DescriptorTable::hashOf(d2), DescriptorTable::hashOf(d));
+}
+
+TEST(DescriptorIntern, InterningIsIdempotentOnTableSize) {
+  auto& table = DescriptorTable::instance();
+  const Descriptor d = sample(907, 9000, {Codec::t140});
+  (void)table.intern(d);
+  const std::size_t after_first = table.size();
+  for (int i = 0; i < 100; ++i) (void)table.intern(d);
+  EXPECT_EQ(table.size(), after_first);
+}
+
+TEST(DescriptorIntern, ConcurrentInternFromEightThreadsYieldsOneEntry) {
+  auto& table = DescriptorTable::instance();
+  const Descriptor d =
+      sample(908, 10000, {Codec::l16, Codec::g711u, Codec::g711a, Codec::g722});
+  const std::size_t before = table.size();
+
+  constexpr int kThreads = 8;
+  std::vector<InternedDescriptor> handles(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &d, &handles, t]() {
+      // Hammer the same descriptor: every iteration must return the one
+      // canonical handle, racing inserts included.
+      InternedDescriptor h;
+      for (int i = 0; i < 1000; ++i) h = table.intern(d);
+      handles[t] = h;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(table.size(), before + 1);
+}
+
+TEST(DescriptorIntern, CodecListBeyondInlineCapacityStillInternsCorrectly) {
+  // 5+ codecs spill the SmallVec to the heap; interning and equality must
+  // be content-based, not storage-based.
+  const Descriptor d = sample(909, 11000,
+                              {Codec::l16, Codec::g711u, Codec::g711a,
+                               Codec::g722, Codec::g726, Codec::g729});
+  InternedDescriptor h1 = DescriptorTable::instance().intern(d);
+  Descriptor copy = d;
+  InternedDescriptor h2 = DescriptorTable::instance().intern(copy);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->codecs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace cmc

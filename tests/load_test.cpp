@@ -29,6 +29,7 @@
 #include "obs/ops_server.hpp"
 #include "obs/slo.hpp"
 #include "sim/event_loop.hpp"
+#include "util/bytes.hpp"
 
 namespace cmc::load {
 namespace {
@@ -137,6 +138,43 @@ TEST(ShardDeterminism, HoldsUnderPerCallFaultPlans) {
   EXPECT_EQ(a.metricsJson(), b.metricsJson());
   // Stabilization must have recovered every faulted call before hang-up.
   EXPECT_EQ(a.convergedCount(), workload.calls);
+}
+
+// --------------------------------------------- rollup transparency pins
+//
+// Recorded digests of the full metrics rollup for fixed seeds. The
+// shard-equivalence tests above prove 1-shard == 8-shard; these pin the
+// *absolute* bytes, so any refactor underneath the load plane (descriptor
+// storage, event pooling, signal routing) that shifts a single counter or
+// histogram bucket fails here instead of slipping through as a "still
+// self-consistent" change. Recorded at the introduction of the hot-path
+// memory model; a mismatch means behavior changed, not just performance.
+
+std::uint64_t rollupDigest(const WorkloadSpec& workload, std::size_t shards,
+                           std::size_t* bytes_out) {
+  LoadConfig config;
+  config.shards = shards;
+  ShardedRuntime runtime(config);
+  runtime.run(workload);
+  const std::string json = runtime.metricsJson();
+  *bytes_out = json.size();
+  return fnv1a(reinterpret_cast<const std::uint8_t*>(json.data()),
+               json.size());
+}
+
+TEST(RollupPins, CleanRunMatchesRecordedDigest) {
+  std::size_t bytes = 0;
+  const std::uint64_t digest = rollupDigest(smallWorkload(42), 1, &bytes);
+  EXPECT_EQ(bytes, 5270u);
+  EXPECT_EQ(digest, 0x9e33345f4e5b379cULL);
+}
+
+TEST(RollupPins, FaultyEightShardRunMatchesRecordedDigest) {
+  std::size_t bytes = 0;
+  const std::uint64_t digest =
+      rollupDigest(smallWorkload(42, /*fault_fraction=*/0.3), 8, &bytes);
+  EXPECT_EQ(bytes, 5420u);
+  EXPECT_EQ(digest, 0xb473ccab00fc03a0ULL);
 }
 
 TEST(Churn, TeardownLeavesNoLeakedSlotsOrGoals) {
